@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction binaries.
+ *
+ * Every bench prints (a) a banner naming the paper artifact it
+ * regenerates, (b) the measured rows/series, and (c) the paper's
+ * reference numbers where the paper states them, so paper-vs-measured
+ * comparison is immediate (EXPERIMENTS.md records the analysis).
+ */
+
+#ifndef COSERVE_BENCH_BENCH_UTIL_H
+#define COSERVE_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+
+#include "baselines/systems.h"
+#include "coe/board_builder.h"
+#include "util/strutil.h"
+#include "util/table.h"
+
+namespace coserve::bench {
+
+/** Print the standard banner for one reproduced artifact. */
+inline void
+banner(const std::string &artifact, const std::string &what)
+{
+    std::printf("==============================================================\n");
+    std::printf("CoServe reproduction — %s\n", artifact.c_str());
+    std::printf("%s\n", what.c_str());
+    std::printf("==============================================================\n");
+}
+
+/** Devices of Table 1. */
+inline const DeviceSpec &
+numaDevice()
+{
+    static const DeviceSpec d = numaRtx3080Ti();
+    return d;
+}
+
+inline const DeviceSpec &
+umaDevice()
+{
+    static const DeviceSpec d = umaAppleM2();
+    return d;
+}
+
+/** Lazily-built CoE models for circuit boards A and B. */
+inline const CoEModel &
+modelA()
+{
+    static const CoEModel m = buildBoard(boardA());
+    return m;
+}
+
+inline const CoEModel &
+modelB()
+{
+    static const CoEModel m = buildBoard(boardB());
+    return m;
+}
+
+/** Harness cache: offline profiling runs once per (device, board). */
+inline Harness &
+harnessFor(const DeviceSpec &dev, const CoEModel &model)
+{
+    static Harness numaA(numaDevice(), modelA());
+    static Harness numaB(numaDevice(), modelB());
+    static Harness umaA(umaDevice(), modelA());
+    static Harness umaB(umaDevice(), modelB());
+    const bool numa = dev.arch == MemArch::NUMA;
+    const bool boardA = &model == &modelA();
+    if (numa)
+        return boardA ? numaA : numaB;
+    return boardA ? umaA : umaB;
+}
+
+/** The five systems of Figures 13/14, in the paper's legend order. */
+inline const std::vector<SystemKind> &
+figure13Systems()
+{
+    static const std::vector<SystemKind> kinds{
+        SystemKind::SambaCoE, SystemKind::SambaFifo,
+        SystemKind::SambaParallel, SystemKind::CoServeBest,
+        SystemKind::CoServeCasual};
+    return kinds;
+}
+
+/** The four ablation stages of Figures 15/16. */
+inline const std::vector<SystemKind> &
+ablationSystems()
+{
+    static const std::vector<SystemKind> kinds{
+        SystemKind::CoServeNone, SystemKind::CoServeEM,
+        SystemKind::CoServeEMRA, SystemKind::CoServeCasual};
+    return kinds;
+}
+
+/** Tasks of Section 5.1, paired with their board models. */
+struct TaskCase
+{
+    const char *name;
+    const CoEModel *model;
+    TaskSpec spec;
+};
+
+inline std::vector<TaskCase>
+paperTasks()
+{
+    return {
+        {"Task A1", &modelA(), taskA1()},
+        {"Task A2", &modelA(), taskA2()},
+        {"Task B1", &modelB(), taskB1()},
+        {"Task B2", &modelB(), taskB2()},
+    };
+}
+
+} // namespace coserve::bench
+
+#endif // COSERVE_BENCH_BENCH_UTIL_H

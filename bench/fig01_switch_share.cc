@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figure 1 — proportion of expert-switching latency vs. execution
+ * latency, for {ResNet101, YOLOv5m, YOLOv5l} x {NUMA, UMA} x
+ * {CPU->GPU, SSD->GPU}.
+ *
+ * Paper reference values (switch share of total):
+ *   NUMA CPU->GPU: 82.1% / 80.6% / 86.2%
+ *   UMA  CPU->GPU: 85.6% / 63.1% / 63.2%
+ *   NUMA SSD->GPU: 98.9% / 98.0% / 98.6%
+ *   UMA  SSD->GPU: 97.9% / 91.0% / 93.1%
+ */
+
+#include "bench/bench_util.h"
+#include "hw/transfer.h"
+#include "model/latency_model.h"
+
+using namespace coserve;
+
+namespace {
+
+void
+section(const DeviceSpec &dev, LoadSource src, const char *paperRow)
+{
+    const TransferModel tm(dev);
+    const LatencyModel lat = LatencyModel::calibrated(dev);
+    const char *path =
+        src == LoadSource::CpuCache ? "CPU to GPU" : "SSD to GPU";
+    std::printf("\n%s (%s)   [paper: %s]\n", dev.name.c_str(), path,
+                paperRow);
+
+    Table t({"Expert", "Switch", "Execution", "Switch share"});
+    for (ArchId arch :
+         {ArchId::ResNet101, ArchId::YoloV5m, ArchId::YoloV5l}) {
+        const Time sw = tm.loadToGpu(archSpec(arch).weightBytes, src);
+        const Time ex = lat.batchLatency(arch, ProcKind::GPU, 1);
+        const double share =
+            static_cast<double>(sw) / static_cast<double>(sw + ex);
+        t.addRow({archSpec(arch).name, formatTime(sw), formatTime(ex),
+                  formatPercent(share)});
+    }
+    t.print();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 1",
+                  "Expert switching latency as a share of inference "
+                  "latency per expert type, memory architecture and "
+                  "I/O path");
+
+    section(bench::numaDevice(), LoadSource::CpuCache,
+            "82.1% / 80.6% / 86.2%");
+    section(bench::umaDevice(), LoadSource::CpuCache,
+            "85.6% / 63.1% / 63.2%");
+    section(bench::numaDevice(), LoadSource::Ssd,
+            "98.9% / 98.0% / 98.6%");
+    section(bench::umaDevice(), LoadSource::Ssd,
+            "97.9% / 91.0% / 93.1%");
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 5 — average inference latency vs. batch size on NUMA and UMA
+ * devices, GPU and CPU (ResNet101, measured through the offline
+ * profiler's microbenchmark path).
+ *
+ * Paper reference: GPU average latency drops into the 0-10 ms range
+ * and plateaus (NUMA plateaus late, UMA around batch 6); CPU average
+ * latency sits at 100-200 ms and is optimal around batch 5-6.
+ */
+
+#include "bench/bench_util.h"
+#include "core/profiler.h"
+
+using namespace coserve;
+
+namespace {
+
+void
+sweep(const DeviceSpec &dev, ProcKind proc)
+{
+    const LatencyModel truth = LatencyModel::calibrated(dev);
+    const FootprintModel fp = FootprintModel::calibrated(dev);
+    OfflineProfiler profiler(dev, truth, fp);
+    std::printf("\n%s — %s (ResNet101)\n", dev.name.c_str(),
+                toString(proc));
+    Table t({"Batch", "Avg latency (ms)", "Batch latency (ms)"});
+    for (const SweepPoint &p : profiler.sweep(ArchId::ResNet101, proc)) {
+        if (p.batchSize > 32 || (p.batchSize % 2 == 1 && p.batchSize > 8))
+            continue;
+        t.addRow({std::to_string(p.batchSize),
+                  formatDouble(toMilliseconds(p.avgLatency)),
+                  formatDouble(toMilliseconds(p.batchLatency))});
+    }
+    t.print();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 5",
+                  "Average inference latency with increasing batch size "
+                  "(profiler microbenchmark measurements)");
+    sweep(bench::numaDevice(), ProcKind::GPU);
+    sweep(bench::umaDevice(), ProcKind::GPU);
+    sweep(bench::numaDevice(), ProcKind::CPU);
+    sweep(bench::umaDevice(), ProcKind::CPU);
+    std::printf("\nPaper: GPU avg latency in the 0-10 ms band, plateau "
+                "~batch 6 on UMA; CPU avg latency 100-200 ms, optimal "
+                "~batch 5.\n");
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 6 — memory footprint vs. batch size on NUMA and UMA devices,
+ * GPU and CPU (ResNet101).
+ *
+ * Paper reference: footprints grow linearly with batch size, reaching
+ * ~10 GB near batch 30 on the NUMA GPU; GPU and CPU footprints differ
+ * because frameworks organize tensors differently (Section 3.3), and
+ * one extra batched image costs about as much as loading 1.5 experts.
+ */
+
+#include "bench/bench_util.h"
+#include "model/footprint_model.h"
+
+using namespace coserve;
+
+int
+main()
+{
+    bench::banner("Figure 6",
+                  "Memory footprint with increasing batch size");
+
+    for (const DeviceSpec &dev :
+         {bench::numaDevice(), bench::umaDevice()}) {
+        const FootprintModel fp = FootprintModel::calibrated(dev);
+        std::printf("\n%s (ResNet101)\n", dev.name.c_str());
+        Table t({"Batch", "GPU footprint", "CPU footprint"});
+        for (int n : {1, 2, 4, 8, 12, 16, 20, 24, 28, 32}) {
+            t.addRow({std::to_string(n),
+                      formatBytes(fp.batchBytes(ArchId::ResNet101,
+                                                ProcKind::GPU, n)),
+                      formatBytes(fp.batchBytes(ArchId::ResNet101,
+                                                ProcKind::CPU, n))});
+        }
+        t.print();
+        const double perImageInExperts =
+            static_cast<double>(fp.activationBytesPerImage(
+                ArchId::ResNet101, ProcKind::GPU)) /
+            static_cast<double>(fp.expertBytes(ArchId::ResNet101));
+        std::printf("one extra GPU image = %.2f experts "
+                    "(paper anchor on NUMA: ~1.5)\n",
+                    perImageInExperts);
+    }
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 12 — variation of (whole-batch) execution latency with
+ * increasing batch sizes, for ResNet101 and YOLOv5m on CPU and GPU of
+ * both devices, plus the fitted K (gradient) and B (intercept) the
+ * profiler extracts for the scheduler.
+ *
+ * Paper reference: CPU batch latency reaches ~1200 ms at batch 30
+ * (NUMA ResNet101); GPU stays under ~200 ms; latency is linear in the
+ * batch size.
+ */
+
+#include "bench/bench_util.h"
+#include "core/profiler.h"
+
+using namespace coserve;
+
+namespace {
+
+void
+sweep(const DeviceSpec &dev, ArchId arch)
+{
+    const LatencyModel truth = LatencyModel::calibrated(dev);
+    const FootprintModel fp = FootprintModel::calibrated(dev);
+    OfflineProfiler profiler(dev, truth, fp);
+
+    std::printf("\n%s — %s\n", dev.name.c_str(), archSpec(arch).name.c_str());
+    Table t({"Batch", "GPU latency (ms)", "CPU latency (ms)"});
+    const auto gpu = profiler.sweep(arch, ProcKind::GPU);
+    const auto cpu = profiler.sweep(arch, ProcKind::CPU);
+    for (std::size_t i = 0; i < gpu.size(); i += 4) {
+        t.addRow({std::to_string(gpu[i].batchSize),
+                  formatDouble(toMilliseconds(gpu[i].batchLatency)),
+                  formatDouble(toMilliseconds(cpu[i].batchLatency))});
+    }
+    t.print();
+
+    for (ProcKind proc : {ProcKind::GPU, ProcKind::CPU}) {
+        const PerfEntry e = profiler.profilePair(arch, proc);
+        std::printf("fitted %s: K = %s, B = %s, maxBatch = %d "
+                    "(R^2 = %.4f)\n",
+                    toString(proc), formatTime(e.k).c_str(),
+                    formatTime(e.b).c_str(), e.maxBatch, e.r2);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 12",
+                  "Execution latency vs. batch size with fitted K/B "
+                  "(the scheduler's latency model, Section 4.2/4.5)");
+    sweep(bench::numaDevice(), ArchId::ResNet101);
+    sweep(bench::numaDevice(), ArchId::YoloV5m);
+    sweep(bench::umaDevice(), ArchId::ResNet101);
+    sweep(bench::umaDevice(), ArchId::YoloV5m);
+    return 0;
+}

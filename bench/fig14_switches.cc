@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 14 — number of expert switches for CoServe and baselines.
+ *
+ * Paper reference (Samba / FIFO / Parallel / Best / Casual):
+ *   NUMA A1: 598/817/364/64/68      A2: 909/1226/513/77/78
+ *        B1: 485/736/287/54/66      B2: 725/1060/414/65/76
+ *   UMA  A1: 625/866/372/76/91      A2: 867/1241/534/86/111
+ *        B1: 521/724/293/63/90      B2: 720/1083/416/73/106
+ * CoServe cuts switches by 78.5%-93.9%.
+ */
+
+#include "bench/bench_util.h"
+
+using namespace coserve;
+
+namespace {
+
+void
+device(const DeviceSpec &dev)
+{
+    std::printf("\n================ %s ================\n",
+                dev.name.c_str());
+    for (const bench::TaskCase &tc : bench::paperTasks()) {
+        Harness &h = bench::harnessFor(dev, *tc.model);
+        const Trace trace = generateTrace(*tc.model, tc.spec);
+        SystemOverrides bestOv;
+        if (tc.model == &bench::modelB())
+            bestOv.gpuExecutors = dev.arch == MemArch::NUMA ? 4 : 3;
+
+        std::printf("\n%s\n", tc.name);
+        Table t({"System", "Switches", "from SSD", "from CPU DRAM",
+                 "Evictions"});
+        std::int64_t samba = 0, best = 0;
+        for (SystemKind kind : bench::figure13Systems()) {
+            const SystemOverrides ov =
+                kind == SystemKind::CoServeBest ? bestOv
+                                                : SystemOverrides{};
+            const RunResult r = h.run(kind, trace, ov);
+            if (kind == SystemKind::SambaCoE)
+                samba = r.switches.total();
+            if (kind == SystemKind::CoServeBest)
+                best = r.switches.total();
+            t.addRow({toString(kind),
+                      std::to_string(r.switches.total()),
+                      std::to_string(r.switches.loadsFromSsd),
+                      std::to_string(r.switches.loadsFromCache),
+                      std::to_string(r.switches.evictions)});
+        }
+        t.print();
+        std::printf("switch reduction Best vs Samba-CoE: %s "
+                    "(paper: 78.5%%-93.9%%)\n",
+                    formatPercent(1.0 - static_cast<double>(best) /
+                                            static_cast<double>(samba))
+                        .c_str());
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 14",
+                  "Number of expert switches for CoServe and baselines");
+    device(bench::numaDevice());
+    device(bench::umaDevice());
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 16 — expert-switch breakdown per optimization stage.
+ *
+ * Paper reference (None/EM/EM+RA/CoServe), NUMA:
+ *   A1: 413/321/173/64    A2: 630/460/208/77
+ *   B1: 371/270/157/54    B2: 520/387/191/65
+ * Each optimization removes switches, proportionally to its
+ * throughput gain in Figure 15.
+ */
+
+#include "bench/bench_util.h"
+
+using namespace coserve;
+
+int
+main()
+{
+    bench::banner("Figure 16",
+                  "Expert-switch breakdown for each optimization");
+
+    for (const DeviceSpec &dev :
+         {bench::numaDevice(), bench::umaDevice()}) {
+        std::printf("\n================ %s ================\n",
+                    dev.name.c_str());
+        for (const bench::TaskCase &tc : bench::paperTasks()) {
+            Harness &h = bench::harnessFor(dev, *tc.model);
+            const Trace trace = generateTrace(*tc.model, tc.spec);
+            std::printf("\n%s\n", tc.name);
+            Table t({"Stage", "Switches", "reduction vs None"});
+            std::int64_t none = 0;
+            for (SystemKind kind : bench::ablationSystems()) {
+                const RunResult r = h.run(kind, trace);
+                if (kind == SystemKind::CoServeNone)
+                    none = r.switches.total();
+                const char *label =
+                    kind == SystemKind::CoServeCasual ? "CoServe (full)"
+                                                      : toString(kind);
+                t.addRow({label, std::to_string(r.switches.total()),
+                          formatPercent(
+                              1.0 - static_cast<double>(
+                                        r.switches.total()) /
+                                        static_cast<double>(none))});
+            }
+            t.print();
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figure 17 — throughput under different numbers of executors.
+ *
+ * Offline measurement (paper Section 5.3): throughput of CoServe on a
+ * sample portion of the data under 1G..5G GPU executors with one CPU
+ * executor, plus 3G/4G with two CPU executors. The paper finds
+ * 3 GPU + 1 CPU best for board A and 4 GPU + 1 CPU best for board B on
+ * both devices; too few executors underuse compute, too many add
+ * overhead and split memory.
+ */
+
+#include "bench/bench_util.h"
+
+using namespace coserve;
+
+namespace {
+
+void
+measurement(const DeviceSpec &dev, const CoEModel &model,
+            const char *name, const TaskSpec &task)
+{
+    Harness &h = bench::harnessFor(dev, model);
+    // "we use a portion of the data" — a sample prefix of the task.
+    const Trace sample = generateTrace(model, task).prefix(1200);
+
+    std::printf("\n%s — %s\n", dev.name.c_str(), name);
+    Table t({"Executors", "Throughput (img/s)"});
+    struct Cand { int g, c; };
+    const int g4 = 4;
+    const std::vector<Cand> candidates{
+        {1, 1}, {2, 1}, {3, 1}, {4, 1}, {5, 1}, {3, 2}, {g4, 2}};
+    double bestThr = 0.0;
+    std::string bestName;
+    for (const Cand &cand : candidates) {
+        SystemOverrides ov;
+        ov.gpuExecutors = cand.g;
+        ov.cpuExecutors = cand.c;
+        const RunResult r =
+            h.run(SystemKind::CoServeCasual, sample, ov);
+        const std::string label = std::to_string(cand.g) + "G+" +
+                                  std::to_string(cand.c) + "C";
+        t.addRow({label, formatDouble(r.throughput, 1)});
+        if (r.throughput > bestThr) {
+            bestThr = r.throughput;
+            bestName = label;
+        }
+    }
+    t.print();
+    std::printf("best configuration: %s (%.1f img/s)\n",
+                bestName.c_str(), bestThr);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 17",
+                  "Throughput under different numbers of executors "
+                  "(G = GPU executors, C = CPU executors)");
+    measurement(bench::numaDevice(), bench::modelA(), "Measurement A",
+                taskA1());
+    measurement(bench::numaDevice(), bench::modelB(), "Measurement B",
+                taskB1());
+    measurement(bench::umaDevice(), bench::modelA(), "Measurement A",
+                taskA1());
+    measurement(bench::umaDevice(), bench::modelB(), "Measurement B",
+                taskB1());
+    std::printf("\nPaper: 3G+1C best for board A, 4G+1C best for board "
+                "B; throughput degrades with too few or too many "
+                "executors.\n");
+    return 0;
+}

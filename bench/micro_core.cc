@@ -1,0 +1,104 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the hot paths of the serving
+ * engine: event queue churn, request-queue grouped insertion, eviction
+ * victim selection, and one full scheduling decision (the real-world
+ * wall-clock cost behind Figure 19's scheduling bar).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/evictions.h"
+#include "coe/board_builder.h"
+#include "coe/dependency.h"
+#include "coe/usage.h"
+#include "core/two_stage_eviction.h"
+#include "runtime/queue.h"
+#include "sim/event_queue.h"
+#include "util/rng.h"
+
+namespace coserve {
+namespace {
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        for (int i = 0; i < state.range(0); ++i)
+            eq.schedule(i, [] {});
+        eq.run();
+        benchmark::DoNotOptimize(eq.executed());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(8192);
+
+void
+BM_RequestQueueGroupedInsert(benchmark::State &state)
+{
+    Rng rng(1);
+    for (auto _ : state) {
+        RequestQueue q;
+        for (int i = 0; i < state.range(0); ++i) {
+            Request r;
+            r.id = i;
+            r.expert = static_cast<ExpertId>(rng.uniformInt(64));
+            q.pushGrouped(r);
+        }
+        benchmark::DoNotOptimize(q.size());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RequestQueueGroupedInsert)->Arg(1024)->Arg(4096);
+
+void
+BM_EvictionSelection(benchmark::State &state)
+{
+    const CoEModel model = buildBoard(boardA());
+    const DependencyGraph deps(model);
+    const UsageProfile usage = UsageProfile::exact(model);
+    ModelPool pool("bench", 1ll << 40);
+    for (ExpertId e = 0; e < static_cast<ExpertId>(state.range(0)); ++e)
+        pool.insertResident(e, 190ll << 20, static_cast<uint64_t>(e), e);
+
+    EvictionContext ctx;
+    ctx.model = &model;
+    ctx.deps = &deps;
+    ctx.usage = &usage;
+    ctx.now = 1000;
+
+    TwoStageEviction twoStage;
+    LruEviction lru;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(twoStage.selectVictim(pool, ctx));
+        benchmark::DoNotOptimize(lru.selectVictim(pool, ctx));
+    }
+}
+BENCHMARK(BM_EvictionSelection)->Arg(32)->Arg(128)->Arg(380);
+
+void
+BM_ZipfSampling(benchmark::State &state)
+{
+    ZipfDistribution zipf(static_cast<std::size_t>(state.range(0)), 1.0);
+    Rng rng(7);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(zipf(rng));
+}
+BENCHMARK(BM_ZipfSampling)->Arg(352);
+
+void
+BM_UsageProfileBuild(benchmark::State &state)
+{
+    const CoEModel model = buildBoard(boardA());
+    for (auto _ : state) {
+        const UsageProfile usage = UsageProfile::exact(model);
+        benchmark::DoNotOptimize(usage.topKMass(35));
+    }
+}
+BENCHMARK(BM_UsageProfileBuild);
+
+} // namespace
+} // namespace coserve
+
+BENCHMARK_MAIN();

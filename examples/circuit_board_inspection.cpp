@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The paper's motivating scenario end-to-end: automated circuit-board
+ * quality inspection (Section 2.1) on an edge box.
+ *
+ * Serves Circuit Board A's full production task on the NUMA device
+ * with every system of the evaluation, then prints a shift report:
+ * throughput, whether the line's deadline is met, switch counts and
+ * latency percentiles.
+ *
+ *   ./example_circuit_board_inspection [numa|uma]
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "baselines/systems.h"
+#include "coe/board_builder.h"
+#include "util/strutil.h"
+#include "util/table.h"
+
+using namespace coserve;
+
+int
+main(int argc, char **argv)
+{
+    const bool uma = argc > 1 && std::strcmp(argv[1], "uma") == 0;
+    const DeviceSpec device = uma ? umaAppleM2() : numaRtx3080Ti();
+
+    const CoEModel model = buildBoard(boardA());
+    std::printf("Circuit board A: %zu component types, %zu experts "
+                "(%s) on %s\n\n",
+                model.numComponents(), model.numExperts(),
+                formatBytes(model.totalWeightBytes()).c_str(),
+                device.name.c_str());
+
+    Harness harness(device, model);
+    const Trace trace = generateTrace(model, taskA1());
+
+    // Production constraint (Section 5.1): all component images of a
+    // board batch must be analyzed within a fixed time frame; here,
+    // 2500 images within 3 minutes.
+    const Time deadline = seconds(180);
+
+    Table t({"System", "img/s", "Makespan", "Deadline (3 min)",
+             "Switches", "p99 latency"});
+    for (SystemKind kind :
+         {SystemKind::SambaCoE, SystemKind::SambaParallel,
+          SystemKind::CoServeCasual, SystemKind::CoServeBest}) {
+        const RunResult r = harness.run(kind, trace);
+        t.addRow({toString(kind), formatDouble(r.throughput, 1),
+                  formatTime(r.makespan),
+                  r.makespan <= deadline ? "MET" : "missed",
+                  std::to_string(r.switches.total()),
+                  formatDouble(r.requestLatencyMs.percentile(99) / 1000,
+                               1) +
+                      " s"});
+    }
+    t.print();
+
+    std::printf("\nOnly the dependency-aware systems keep the "
+                "inspection line fully automated: the baselines spend "
+                "most of the window swapping experts.\n");
+    return 0;
+}

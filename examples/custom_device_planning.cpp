@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Bringing CoServe to a new device: run the full offline phase on a
+ * custom hardware description and inspect every artifact it produces —
+ * the profiled performance matrix, the usage CDF, the decay-window
+ * search trace, and the executor-count sweep (paper Sections 4.4/4.5).
+ *
+ *   ./example_custom_device_planning
+ */
+
+#include <cstdio>
+
+#include "baselines/systems.h"
+#include "coe/board_builder.h"
+#include "util/strutil.h"
+#include "util/table.h"
+#include "core/coserve.h"
+
+using namespace coserve;
+
+int
+main()
+{
+    // An embedded box: weak GPU, slow eMMC-class storage.
+    DeviceSpec dev;
+    dev.name = "jetson-class (custom)";
+    dev.arch = MemArch::NUMA;
+    dev.gpu = {ProcKind::GPU, "embedded-gpu", 0.35};
+    dev.cpu = {ProcKind::CPU, "embedded-cpu", 0.6};
+    dev.gpuMemoryBytes = 8ll * 1024 * 1024 * 1024;
+    dev.cpuMemoryBytes = 8ll * 1024 * 1024 * 1024;
+    dev.reservedBytes = 1ll * 1024 * 1024 * 1024;
+    dev.ssdBps = 300.0 * 1024 * 1024;
+    dev.deserializeBps = 180.0 * 1024 * 1024;
+    dev.pciBps = 6000.0 * 1024 * 1024;
+    dev.reorganizeBps = 2000.0 * 1024 * 1024;
+    dev.loadFixedOverhead = milliseconds(25);
+    dev.linkFixedLatency = microseconds(50);
+
+    BoardSpec spec = boardA();
+    spec.numComponents = 120; // a smaller product line
+    spec.numDetectionExperts = 12;
+    const CoEModel model = buildBoard(spec);
+
+    std::printf("offline phase on %s, %zu experts (%s)\n\n",
+                dev.name.c_str(), model.numExperts(),
+                formatBytes(model.totalWeightBytes()).c_str());
+
+    // ---- Profiler output (Section 4.5) -----------------------------
+    const CoServeContext ctx(dev, model);
+    Table perf({"Arch", "Proc", "K", "B", "maxBatch", "load latency"});
+    for (ArchId a :
+         {ArchId::ResNet101, ArchId::YoloV5m, ArchId::YoloV5l}) {
+        for (ProcKind p : {ProcKind::GPU, ProcKind::CPU}) {
+            if (!ctx.perf().has(a, p))
+                continue;
+            const PerfEntry &e = ctx.perf().at(a, p);
+            perf.addRow({archSpec(a).name, toString(p),
+                         formatTime(e.k), formatTime(e.b),
+                         std::to_string(e.maxBatch),
+                         formatTime(e.loadLatency)});
+        }
+    }
+    perf.print();
+
+    // ---- Usage CDF --------------------------------------------------
+    std::printf("\nusage CDF: top-10 %.2f, top-30 %.2f, top-60 %.2f\n",
+                ctx.usage().topKMass(10), ctx.usage().topKMass(30),
+                ctx.usage().topKMass(60));
+
+    // ---- Decay-window memory search (Section 4.4) -------------------
+    TaskSpec sampleTask;
+    sampleTask.numImages = 300;
+    const Trace sample = generateTrace(model, sampleTask);
+    const MemoryPlan plan = planMemory(ctx, 2, 1, sample);
+    std::printf("\ndecay-window probes:\n");
+    for (const PlannerProbe &p : plan.search.probes)
+        std::printf("  %3d experts -> %.1f img/s\n", p.expertCount,
+                    p.throughput);
+    std::printf("selected %d GPU-resident experts (window [%d, %d])\n",
+                plan.gpuExpertCount, plan.search.windowLow,
+                plan.search.windowHigh);
+
+    // ---- Executor-count sweep (Figure 17 procedure) ------------------
+    Harness harness(dev, model);
+    TaskSpec probeTask;
+    probeTask.numImages = 800;
+    const Trace probe = generateTrace(model, probeTask);
+    std::printf("\nexecutor sweep (CoServe, casual memory):\n");
+    for (int g = 1; g <= 4; ++g) {
+        SystemOverrides ov;
+        ov.gpuExecutors = g;
+        ov.cpuExecutors = 1;
+        const RunResult r =
+            harness.run(SystemKind::CoServeCasual, probe, ov);
+        std::printf("  %dG+1C -> %.1f img/s\n", g, r.throughput);
+    }
+    return 0;
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * CoServe beyond vision: a Qihoo-360-style LLM Collaboration-of-Experts
+ * (paper Section 2.1) where a router dispatches user requests to
+ * domain experts (code, math, law, medicine, ...), some of which chain
+ * into a shared verifier expert.
+ *
+ * Demonstrates that the library is not tied to the circuit-board
+ * generator: the CoE model is assembled by hand from routing rules,
+ * and a custom device description is used.
+ *
+ *   ./example_llm_expert_router
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "baselines/systems.h"
+#include "coe/coe_model.h"
+#include "util/strutil.h"
+#include "util/table.h"
+#include "workload/generator.h"
+
+using namespace coserve;
+
+namespace {
+
+/** Build a 72-domain LLM CoE plus 6 shared verifier experts. */
+CoEModel
+buildLlmCoE()
+{
+    // Domain popularity: a few hot domains (code, chat, math), a long
+    // Zipf tail of specialist ones (legal sub-fields, medical
+    // specialties, regional tax codes, ...).
+    std::vector<double> popularity;
+    double total = 0.0;
+    for (int i = 0; i < 72; ++i) {
+        const double w = 1.0 / static_cast<double>((i + 1) * (i + 1));
+        popularity.push_back(w);
+        total += w;
+    }
+    for (double &p : popularity)
+        p /= total;
+
+    std::vector<Expert> experts;
+    for (std::size_t i = 0; i < popularity.size(); ++i) {
+        Expert e;
+        e.id = static_cast<ExpertId>(i);
+        e.name = "domain-" + std::to_string(i);
+        // Reuse the ResNet101 cost/size profile as a stand-in for a
+        // distilled ~45M-parameter domain head.
+        e.arch = ArchId::ResNet101;
+        e.role = ExpertRole::Preliminary;
+        e.weightBytes = archSpec(e.arch).weightBytes;
+        experts.push_back(std::move(e));
+    }
+    for (int v = 0; v < 6; ++v) {
+        Expert e;
+        e.id = static_cast<ExpertId>(experts.size());
+        e.name = "verifier-" + std::to_string(v);
+        e.arch = ArchId::YoloV5l;
+        e.role = ExpertRole::Subsequent;
+        e.weightBytes = archSpec(e.arch).weightBytes;
+        experts.push_back(std::move(e));
+    }
+
+    std::vector<ComponentType> rules;
+    const auto nDomains = static_cast<ExpertId>(popularity.size());
+    for (std::size_t i = 0; i < popularity.size(); ++i) {
+        ComponentType c;
+        c.id = static_cast<ComponentId>(i);
+        c.name = "intent-" + std::to_string(i);
+        c.classifier = static_cast<ExpertId>(i);
+        // High-stakes domains (every 3rd) chain into a verifier.
+        c.detector = (i % 3 == 0)
+                         ? static_cast<ExpertId>(nDomains +
+                                                 (i / 3) % 6)
+                         : kNoExpert;
+        c.defectProb = 0.10; // "refused / answered directly"
+        c.imageProb = popularity[i];
+        rules.push_back(std::move(c));
+    }
+    return CoEModel("llm-coe", std::move(experts), std::move(rules));
+}
+
+} // namespace
+
+int
+main()
+{
+    const CoEModel model = buildLlmCoE();
+    std::printf("LLM CoE: %zu experts (%s)\n", model.numExperts(),
+                formatBytes(model.totalWeightBytes()).c_str());
+
+    // A small edge server: one mid-range GPU, generous DRAM.
+    DeviceSpec dev = numaRtx3080Ti();
+    dev.name = "edge-server (custom)";
+    dev.gpuMemoryBytes = 6ll * 1024 * 1024 * 1024;
+    dev.cpuMemoryBytes = 8ll * 1024 * 1024 * 1024;
+
+    Harness harness(dev, model);
+
+    TaskSpec task;
+    task.name = "chat-hour";
+    task.numImages = 3000;
+    task.interarrival = milliseconds(6);
+    const Trace trace = generateTrace(model, task);
+
+    Table t({"System", "req/s", "Switches", "p50 latency", "p99 latency"});
+    for (SystemKind kind :
+         {SystemKind::SambaCoE, SystemKind::CoServeCasual,
+          SystemKind::CoServeBest}) {
+        const RunResult r = harness.run(kind, trace);
+        t.addRow({toString(kind), formatDouble(r.throughput, 1),
+                  std::to_string(r.switches.total()),
+                  formatDouble(r.requestLatencyMs.percentile(50), 0) +
+                      " ms",
+                  formatDouble(r.requestLatencyMs.percentile(99), 0) +
+                      " ms"});
+    }
+    t.print();
+
+    std::printf("\nThe same dependency-aware scheduling that batches "
+                "circuit-board images groups same-domain prompts and "
+                "keeps hot domain experts resident.\n");
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Quickstart: serve a small CoE model with CoServe in ~40 lines.
+ *
+ * Builds a toy circuit-board CoE model, runs the offline phase
+ * (profiling + usage analysis), assembles a CoServe engine and serves
+ * a short workload, printing the headline metrics.
+ *
+ *   ./example_quickstart
+ */
+
+#include <cstdio>
+
+#include "coe/board_builder.h"
+#include "util/strutil.h"
+#include "util/table.h"
+#include "core/coserve.h"
+#include "util/strutil.h"
+#include "util/table.h"
+#include "workload/generator.h"
+
+using namespace coserve;
+
+int
+main()
+{
+    // 1. A CoE model: 48 component types, each with a dedicated
+    //    ResNet101 classifier; 6 shared YOLOv5 detection experts.
+    BoardSpec spec = tinyBoard();
+    spec.name = "quickstart-board";
+    spec.numComponents = 48;
+    spec.numDetectionExperts = 6;
+    const CoEModel model = buildBoard(spec);
+    std::printf("CoE model: %zu experts, %s of weights\n",
+                model.numExperts(),
+                formatBytes(model.totalWeightBytes()).c_str());
+
+    // 2. Offline phase: profile the device, compute usage
+    //    probabilities (paper Sections 4.4/4.5). Runs once per device.
+    const CoServeContext ctx(numaRtx3080Ti(), model);
+    std::printf("profiled ResNet101 on GPU: K=%s B=%s maxBatch=%d\n",
+                formatTime(ctx.perf()
+                               .at(ArchId::ResNet101, ProcKind::GPU)
+                               .k)
+                    .c_str(),
+                formatTime(ctx.perf()
+                               .at(ArchId::ResNet101, ProcKind::GPU)
+                               .b)
+                    .c_str(),
+                ctx.perf().at(ArchId::ResNet101, ProcKind::GPU).maxBatch);
+
+    // 3. Assemble CoServe: 2 GPU executors + 1 CPU executor, memory
+    //    planned by the decay-window search over a sample workload.
+    TaskSpec sampleTask;
+    sampleTask.name = "sample";
+    sampleTask.numImages = 300;
+    const Trace sample = generateTrace(model, sampleTask);
+    const MemoryPlan plan = planMemory(ctx, 2, 1, sample);
+    std::printf("planner selected %d GPU-resident experts "
+                "(window [%d, %d])\n",
+                plan.gpuExpertCount, plan.search.windowLow,
+                plan.search.windowHigh);
+
+    EngineConfig cfg = coserveConfig(ctx, plan.executors, "quickstart");
+    auto engine = makeCoServeEngine(ctx, std::move(cfg));
+
+    // 4. Serve a workload: 2,000 component images, one every 4 ms.
+    TaskSpec task;
+    task.name = "quickstart";
+    task.numImages = 2000;
+    const RunResult r = engine->run(generateTrace(model, task));
+
+    std::printf("\nserved %lld images (%lld inferences) in %s\n",
+                static_cast<long long>(r.images),
+                static_cast<long long>(r.inferences),
+                formatTime(r.makespan).c_str());
+    std::printf("throughput:      %.1f img/s\n", r.throughput);
+    std::printf("expert switches: %lld (%lld from SSD)\n",
+                static_cast<long long>(r.switches.total()),
+                static_cast<long long>(r.switches.loadsFromSsd));
+    std::printf("p50/p99 request latency: %.1f / %.1f ms\n",
+                r.requestLatencyMs.percentile(50),
+                r.requestLatencyMs.percentile(99));
+    return 0;
+}

@@ -1,0 +1,75 @@
+#include "core/scheduler.h"
+
+#include <algorithm>
+
+#include "runtime/engine.h"
+#include "util/logging.h"
+
+namespace coserve {
+
+Time
+DependencyAwareScheduler::additionalLatency(const ServingEngine &engine,
+                                            std::size_t i,
+                                            const Request &req) const
+{
+    const Executor &exec = engine.executorAt(i);
+    const ArchId arch = engine.model().expert(req.expert).arch;
+
+    Time k, b;
+    if (perf_ && perf_->has(arch, exec.kind())) {
+        const PerfEntry &entry = perf_->at(arch, exec.kind());
+        k = entry.k;
+        b = entry.b;
+    } else {
+        const LatencyParams &p = engine.truth().params(arch, exec.kind());
+        k = p.perImage;
+        b = p.fixed;
+    }
+
+    // Execution part: joining an existing same-expert group costs K;
+    // opening a new group pays the batch overhead B as well.
+    const bool joinsGroup = exec.queue().containsExpert(req.expert);
+    const Time execPart = joinsGroup ? k : k + b;
+
+    // Switch part: zero when resident or already demanded (Section 4.2).
+    const Time switchPart = engine.predictLoadTime(i, req.expert);
+
+    return execPart + switchPart;
+}
+
+void
+DependencyAwareScheduler::dispatch(ServingEngine &engine,
+                                   const Request &req)
+{
+    const std::size_t n = engine.numExecutors();
+    COSERVE_CHECK(n > 0, "no executors");
+
+    // Predicted finish time of each queue as-is.
+    std::vector<Time> finish(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const Executor &exec = engine.executorAt(i);
+        finish[i] = std::max(engine.now(), exec.busyUntil()) +
+                    exec.queue().pendingWork();
+    }
+    const Time maxFinish = *std::max_element(finish.begin(), finish.end());
+
+    std::size_t best = 0;
+    Time bestTotal = kTimeNever;
+    Time bestAdd = kTimeNever;
+    for (std::size_t i = 0; i < n; ++i) {
+        const Time add = additionalLatency(engine, i, req);
+        // Total inference time across executors if assigned to i
+        // (queues run in parallel; the longest one dictates, Fig. 8).
+        const Time total = std::max(maxFinish, finish[i] + add);
+        if (total < bestTotal ||
+            (total == bestTotal && add < bestAdd)) {
+            best = i;
+            bestTotal = total;
+            bestAdd = add;
+        }
+    }
+
+    engine.enqueue(best, req, /*grouped=*/true, bestAdd);
+}
+
+} // namespace coserve

@@ -1,0 +1,80 @@
+#include "metrics/report.h"
+
+#include <iostream>
+#include <sstream>
+
+#include "util/strutil.h"
+#include "util/table.h"
+#include "util/time.h"
+
+namespace coserve {
+
+std::string
+summarize(const RunResult &r)
+{
+    std::ostringstream os;
+    os << r.label << ": " << r.images << " images ("
+       << r.inferences << " inferences) in "
+       << formatTime(r.makespan) << "\n";
+    os << "  throughput " << formatDouble(r.throughput, 1)
+       << " img/s, " << r.switches.total() << " expert switches ("
+       << r.switches.loadsFromSsd << " SSD, "
+       << r.switches.loadsFromCache << " CPU-DRAM, "
+       << r.switches.prefetchLoads << " prefetched), "
+       << formatBytes(r.switches.bytesLoaded) << " moved\n";
+    os << "  request latency p50/p99 "
+       << formatDouble(r.requestLatencyMs.percentile(50), 1) << "/"
+       << formatDouble(r.requestLatencyMs.percentile(99), 1)
+       << " ms, scheduling "
+       << formatDouble(r.schedulingWallUs.mean(), 2) << " us/decision\n";
+    return os.str();
+}
+
+std::string
+summarizeExecutors(const RunResult &r)
+{
+    std::ostringstream os;
+    Table t({"Executor", "Batches", "Requests", "Avg batch", "Busy",
+             "Load stall", "Switches"});
+    for (const ExecutorStats &es : r.executors) {
+        t.addRow({es.name, std::to_string(es.batches),
+                  std::to_string(es.requests),
+                  formatDouble(es.avgBatchSize, 1),
+                  formatTime(es.busyTime), formatTime(es.loadStall),
+                  std::to_string(es.switches.total())});
+    }
+    t.print(os);
+    return os.str();
+}
+
+void
+printComparison(const std::vector<RunResult> &results, std::ostream &os)
+{
+    if (results.empty())
+        return;
+    const RunResult &base = results.front();
+    Table t({"System", "img/s", "Speedup", "Switches",
+             "Switch reduction", "Makespan"});
+    for (const RunResult &r : results) {
+        const double speedup =
+            base.throughput > 0 ? r.throughput / base.throughput : 0.0;
+        const double reduction =
+            base.switches.total() > 0
+                ? 1.0 - static_cast<double>(r.switches.total()) /
+                            static_cast<double>(base.switches.total())
+                : 0.0;
+        t.addRow({r.label, formatDouble(r.throughput, 1),
+                  formatDouble(speedup, 2) + "x",
+                  std::to_string(r.switches.total()),
+                  formatPercent(reduction), formatTime(r.makespan)});
+    }
+    t.print(os);
+}
+
+void
+printComparison(const std::vector<RunResult> &results)
+{
+    printComparison(results, std::cout);
+}
+
+} // namespace coserve

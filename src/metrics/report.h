@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Human-readable rendering and cross-system comparison of RunResults.
+ *
+ * Used by examples and ad-hoc experiments; the figure benches format
+ * their own tables to match the paper's layout.
+ */
+
+#ifndef COSERVE_METRICS_REPORT_H
+#define COSERVE_METRICS_REPORT_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "metrics/run_result.h"
+
+namespace coserve {
+
+/** Render one run as a multi-line summary (throughput, switches...). */
+std::string summarize(const RunResult &result);
+
+/** Render per-executor utilization rows. */
+std::string summarizeExecutors(const RunResult &result);
+
+/**
+ * Comparison across systems on the same workload: one row per run with
+ * throughput, speedup vs. the first entry (the baseline), switch
+ * counts and reduction vs. the baseline.
+ */
+void printComparison(const std::vector<RunResult> &results,
+                     std::ostream &os);
+
+/** Convenience overload writing to stdout. */
+void printComparison(const std::vector<RunResult> &results);
+
+} // namespace coserve
+
+#endif // COSERVE_METRICS_REPORT_H

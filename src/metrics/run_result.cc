@@ -1,0 +1,16 @@
+#include "metrics/run_result.h"
+
+namespace coserve {
+
+void
+SwitchCounters::merge(const SwitchCounters &o)
+{
+    loadsFromSsd += o.loadsFromSsd;
+    loadsFromCache += o.loadsFromCache;
+    prefetchLoads += o.prefetchLoads;
+    evictions += o.evictions;
+    demotions += o.demotions;
+    bytesLoaded += o.bytesLoaded;
+}
+
+} // namespace coserve

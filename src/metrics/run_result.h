@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Result records produced by a serving run.
+ *
+ * RunResult carries everything the benchmark harness needs to print the
+ * paper's tables and figures: throughput (the paper's primary metric,
+ * Section 5.1), expert-switch counts (Figure 14/16), latency samples
+ * (Figure 19) and per-executor utilization.
+ */
+
+#ifndef COSERVE_METRICS_RUN_RESULT_H
+#define COSERVE_METRICS_RUN_RESULT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+#include "util/time.h"
+
+namespace coserve {
+
+/** Expert movement counters for one run (or one executor). */
+struct SwitchCounters
+{
+    /** Loads served from SSD (storage + link legs). */
+    std::int64_t loadsFromSsd = 0;
+    /** Loads served from the CPU DRAM cache tier (link leg only). */
+    std::int64_t loadsFromCache = 0;
+    /** Of all loads, how many were issued by the prefetcher. */
+    std::int64_t prefetchLoads = 0;
+    /** Experts evicted from pools. */
+    std::int64_t evictions = 0;
+    /** Evictions demoted into the CPU cache tier. */
+    std::int64_t demotions = 0;
+    /** Total bytes moved into pools. */
+    std::int64_t bytesLoaded = 0;
+
+    /** Total expert switches (the paper's Figure 14 metric). */
+    std::int64_t total() const { return loadsFromSsd + loadsFromCache; }
+
+    /** Accumulate @p o into this. */
+    void merge(const SwitchCounters &o);
+};
+
+/** Per-executor summary. */
+struct ExecutorStats
+{
+    std::string name;
+    std::int64_t batches = 0;
+    std::int64_t requests = 0;
+    Time busyTime = 0;
+    Time loadStall = 0;
+    SwitchCounters switches;
+    double avgBatchSize = 0.0;
+};
+
+/** Whole-run summary. */
+struct RunResult
+{
+    std::string label;
+
+    /** Images completed (classification chains finished). */
+    std::int64_t images = 0;
+    /** Total inference executions (classify + detect). */
+    std::int64_t inferences = 0;
+    /** First arrival to last completion. */
+    Time makespan = 0;
+    /** Primary metric: images per second. */
+    double throughput = 0.0;
+
+    SwitchCounters switches;
+    std::vector<ExecutorStats> executors;
+
+    /** Per-request end-to-end latency (ms), arrival to completion. */
+    Samples requestLatencyMs;
+    /** Per-request pure execution latency (ms). */
+    Samples inferenceLatencyMs;
+    /** Host wall-clock cost of each scheduling decision (us). */
+    Samples schedulingWallUs;
+
+    /** Recorded executor assignment, for pre-scheduled replay runs. */
+    std::vector<int> assignments;
+};
+
+} // namespace coserve
+
+#endif // COSERVE_METRICS_RUN_RESULT_H

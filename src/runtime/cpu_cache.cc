@@ -1,0 +1,61 @@
+#include "runtime/cpu_cache.h"
+
+#include "util/logging.h"
+
+namespace coserve {
+
+LruByteCache::LruByteCache(std::int64_t capacityBytes)
+    : capacity_(capacityBytes)
+{
+    COSERVE_CHECK(capacity_ >= 0, "negative cache capacity");
+}
+
+void
+LruByteCache::touch(ExpertId e, Time now)
+{
+    auto it = entries_.find(e);
+    if (it != entries_.end())
+        it->second.lastUse = now;
+}
+
+void
+LruByteCache::insert(ExpertId e, std::int64_t bytes, Time now)
+{
+    if (capacity_ == 0 || bytes > capacity_)
+        return;
+    auto it = entries_.find(e);
+    if (it != entries_.end()) {
+        it->second.lastUse = now;
+        return;
+    }
+    while (used_ + bytes > capacity_)
+        evictOne();
+    entries_.emplace(e, Entry{bytes, now});
+    used_ += bytes;
+}
+
+void
+LruByteCache::erase(ExpertId e)
+{
+    auto it = entries_.find(e);
+    if (it == entries_.end())
+        return;
+    used_ -= it->second.bytes;
+    entries_.erase(it);
+}
+
+void
+LruByteCache::evictOne()
+{
+    COSERVE_CHECK(!entries_.empty(), "cache eviction with empty cache");
+    auto victim = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (it->second.lastUse < victim->second.lastUse)
+            victim = it;
+    }
+    used_ -= victim->second.bytes;
+    entries_.erase(victim);
+    ++evictions_;
+}
+
+} // namespace coserve

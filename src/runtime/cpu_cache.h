@@ -1,0 +1,73 @@
+/**
+ * @file
+ * CPU DRAM cache tier (paper Section 2.2 / 5.1).
+ *
+ * Samba-CoE on NUMA devices keeps recently evicted experts in CPU
+ * memory so a later reload hits DRAM (PCIe copy) instead of the SSD.
+ * The tier is a plain byte-capacity LRU set; entries record only
+ * residency and size (the simulated contents are the weights).
+ */
+
+#ifndef COSERVE_RUNTIME_CPU_CACHE_H
+#define COSERVE_RUNTIME_CPU_CACHE_H
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "model/expert.h"
+#include "util/time.h"
+
+namespace coserve {
+
+/** Byte-bounded LRU set of experts resident in CPU DRAM. */
+class LruByteCache
+{
+  public:
+    /** @param capacityBytes 0 disables the cache entirely. */
+    explicit LruByteCache(std::int64_t capacityBytes);
+
+    /** @return true when @p e is cached. */
+    bool contains(ExpertId e) const { return entries_.count(e) > 0; }
+
+    /** Refresh recency of @p e (no-op when absent). */
+    void touch(ExpertId e, Time now);
+
+    /**
+     * Insert @p e, evicting least-recently-used entries until it fits.
+     * No-op when the cache is disabled or @p bytes exceeds capacity.
+     */
+    void insert(ExpertId e, std::int64_t bytes, Time now);
+
+    /** Remove @p e if present. */
+    void erase(ExpertId e);
+
+    /** @return bytes currently cached. */
+    std::int64_t usedBytes() const { return used_; }
+
+    /** @return configured capacity. */
+    std::int64_t capacityBytes() const { return capacity_; }
+
+    /** @return cached expert count. */
+    std::size_t count() const { return entries_.size(); }
+
+    /** @return number of LRU evictions performed. */
+    std::int64_t evictions() const { return evictions_; }
+
+  private:
+    struct Entry
+    {
+        std::int64_t bytes = 0;
+        Time lastUse = 0;
+    };
+
+    void evictOne();
+
+    std::int64_t capacity_;
+    std::int64_t used_ = 0;
+    std::int64_t evictions_ = 0;
+    std::unordered_map<ExpertId, Entry> entries_;
+};
+
+} // namespace coserve
+
+#endif // COSERVE_RUNTIME_CPU_CACHE_H

@@ -1,0 +1,444 @@
+#include "runtime/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace coserve {
+
+ServingEngine::ServingEngine(EngineConfig cfg, const CoEModel &model,
+                             const LatencyModel &truth,
+                             const FootprintModel &footprint,
+                             const UsageProfile &usage,
+                             std::unique_ptr<Scheduler> scheduler,
+                             std::unique_ptr<EvictionPolicy> eviction)
+    : cfg_(std::move(cfg)), model_(model), truth_(truth),
+      footprint_(footprint), usage_(usage), deps_(model),
+      transfer_(cfg_.device),
+      cpuCache_(cfg_.cpuCacheTier ? cfg_.cpuCacheBytes : 0),
+      scheduler_(std::move(scheduler)), eviction_(std::move(eviction))
+{
+    COSERVE_CHECK(scheduler_ != nullptr, "engine needs a scheduler");
+    COSERVE_CHECK(eviction_ != nullptr, "engine needs an eviction policy");
+    validate();
+
+    // Storage channel: SSD read + host deserialization, serialized.
+    // We hand the channel a combined effective bandwidth so that
+    // duration == TransferModel::storageLeg for the same byte count.
+    const double storageBps =
+        1.0 / (1.0 / cfg_.device.ssdBps + 1.0 / cfg_.device.deserializeBps);
+    storage_ = std::make_unique<BandwidthChannel>(
+        eq_, "storage", storageBps, cfg_.device.loadFixedOverhead);
+
+    const double pci =
+        cfg_.device.pciBps > 0 ? cfg_.device.pciBps : 1e18;
+    const double reorg =
+        cfg_.device.reorganizeBps > 0 ? cfg_.device.reorganizeBps : 1e18;
+    const double linkBps = 1.0 / (1.0 / pci + 1.0 / reorg);
+    link_ = std::make_unique<BandwidthChannel>(
+        eq_, "link", linkBps, cfg_.device.linkFixedLatency);
+
+    // Executors of the same kind share one model pool: there is one
+    // physical GPU memory and one CPU DRAM, regardless of how many
+    // executor queues drain it. Pool capacity is the sum of the
+    // per-executor expert budgets.
+    std::int64_t gpuPoolBytes = 0, cpuPoolBytes = 0;
+    for (const ExecutorConfig &ec : cfg_.executors) {
+        (ec.kind == ProcKind::GPU ? gpuPoolBytes : cpuPoolBytes) +=
+            ec.poolBytes;
+    }
+    if (gpuPoolBytes > 0)
+        gpuPool_ = std::make_unique<ModelPool>("gpu.pool", gpuPoolBytes);
+    if (cpuPoolBytes > 0)
+        cpuPool_ = std::make_unique<ModelPool>("cpu.pool", cpuPoolBytes);
+
+    // Memory-pressure slowdown of GPU loads: fraction of GPU memory
+    // held by resident experts vs. batch workspace.
+    std::int64_t gpuBatchBytes = 0;
+    for (const ExecutorConfig &ec : cfg_.executors) {
+        if (ec.kind == ProcKind::GPU)
+            gpuBatchBytes += ec.batchMemBytes;
+    }
+    if (gpuPoolBytes > 0) {
+        const double fraction =
+            static_cast<double>(gpuPoolBytes) /
+            static_cast<double>(gpuPoolBytes + gpuBatchBytes);
+        const double x =
+            std::clamp((fraction - 0.60) / 0.40, 0.0, 1.0);
+        gpuPressure_ = 1.0 + 1.6 * x * x;
+    }
+
+    int gpuIdx = 0, cpuIdx = 0;
+    for (std::size_t i = 0; i < cfg_.executors.size(); ++i) {
+        const ExecutorConfig &ec = cfg_.executors[i];
+        std::string name =
+            ec.kind == ProcKind::GPU
+                ? "GPU" + std::to_string(gpuIdx++)
+                : "CPU" + std::to_string(cpuIdx++);
+        ModelPool &pool =
+            ec.kind == ProcKind::GPU ? *gpuPool_ : *cpuPool_;
+        executors_.push_back(std::make_unique<Executor>(
+            *this, static_cast<int>(i), std::move(name), ec, pool));
+    }
+}
+
+ServingEngine::~ServingEngine() = default;
+
+void
+ServingEngine::validate() const
+{
+    COSERVE_CHECK(!cfg_.executors.empty(), "config has no executors");
+    std::int64_t largest = 0;
+    for (const Expert &e : model_.experts())
+        largest = std::max(largest, footprint_.expertBytes(e.arch));
+    std::int64_t gpuPoolBytes = 0, cpuPoolBytes = 0;
+    for (const ExecutorConfig &ec : cfg_.executors) {
+        COSERVE_CHECK(ec.batchMemBytes >= 0, "negative batch memory");
+        COSERVE_CHECK(ec.poolBytes >= 0, "negative pool memory");
+        (ec.kind == ProcKind::GPU ? gpuPoolBytes : cpuPoolBytes) +=
+            ec.poolBytes;
+    }
+    for (std::int64_t poolBytes : {gpuPoolBytes, cpuPoolBytes}) {
+        if (poolBytes > 0 && poolBytes < 2 * largest) {
+            fatal("shared pool too small (", poolBytes,
+                  " bytes) for largest expert (", largest,
+                  " bytes): need at least two experts resident");
+        }
+    }
+}
+
+const Executor &
+ServingEngine::executorAt(std::size_t i) const
+{
+    COSERVE_CHECK(i < executors_.size(), "executor index out of range");
+    return *executors_[i];
+}
+
+void
+ServingEngine::enqueue(std::size_t i, const Request &req, bool grouped,
+                       Time estimate)
+{
+    COSERVE_CHECK(i < executors_.size(), "executor index out of range");
+    if (static_cast<std::size_t>(req.id) >= result_.assignments.size())
+        result_.assignments.resize(static_cast<std::size_t>(req.id) + 1,
+                                   -1);
+    result_.assignments[static_cast<std::size_t>(req.id)] =
+        static_cast<int>(i);
+    executors_[i]->enqueue(req, grouped, estimate);
+}
+
+ArchId
+ServingEngine::archOf(ExpertId e) const
+{
+    return model_.expert(e).arch;
+}
+
+Time
+ServingEngine::predictLoadTime(std::size_t i, ExpertId e) const
+{
+    const Executor &exec = executorAt(i);
+    if (exec.pool().contains(e))
+        return 0;
+    // A queued request already demands this expert: it will be loaded
+    // while earlier requests execute (Section 4.2, second condition).
+    if (exec.queue().containsExpert(e))
+        return 0;
+    const std::int64_t bytes = footprint_.expertBytes(archOf(e));
+    if (exec.kind() == ProcKind::CPU) {
+        // An expert cached in CPU DRAM is already executable by a CPU
+        // executor — adopting it is (nearly) free.
+        if (cpuCache_.capacityBytes() > 0 && cpuCache_.contains(e))
+            return cfg_.device.linkFixedLatency;
+        return transfer_.loadToCpu(bytes);
+    }
+    const LoadSource src = gpuLoadSource(e);
+    return static_cast<Time>(
+        static_cast<double>(transfer_.loadToGpu(bytes, src)) *
+        gpuPressure_);
+}
+
+LoadSource
+ServingEngine::gpuLoadSource(ExpertId e) const
+{
+    // Experts already materialized in CPU DRAM — either in the explicit
+    // cache tier or resident in a CPU executor's pool — only need the
+    // device-handoff leg (PCIe + reorganization), not the SSD read.
+    if (cpuCache_.capacityBytes() > 0 && cpuCache_.contains(e))
+        return LoadSource::CpuCache;
+    if (cpuPool_ && cpuPool_->resident(e))
+        return LoadSource::CpuCache;
+    return LoadSource::Ssd;
+}
+
+Time
+ServingEngine::predictUnitLatency(std::size_t i, ArchId arch) const
+{
+    const Executor &exec = executorAt(i);
+    return truth_.params(arch, exec.kind()).perImage;
+}
+
+int
+ServingEngine::maxExecutableBatch(const Executor &exec, ArchId arch) const
+{
+    if (!cfg_.batching)
+        return 1;
+    int profiled = 8;
+    auto it = cfg_.maxBatch.find({arch, exec.kind()});
+    if (it != cfg_.maxBatch.end())
+        profiled = it->second;
+    const std::int64_t perImage =
+        footprint_.activationBytesPerImage(arch, exec.kind());
+    const int memBound = static_cast<int>(
+        std::max<std::int64_t>(1, exec.batchMemBytes() / perImage));
+    return std::max(1, std::min(profiled, memBound));
+}
+
+bool
+ServingEngine::startLoad(Executor &exec, ExpertId e, bool isPrefetch)
+{
+    ModelPool &pool = exec.mutablePool();
+    COSERVE_CHECK(!pool.contains(e), "loading pooled expert ", e);
+    const ArchId arch = archOf(e);
+    const std::int64_t bytes = footprint_.expertBytes(arch);
+
+    // Speculative loads must not queue on a saturated storage channel
+    // ahead of (or behind) demand loads: defer the prefetch when its
+    // SSD leg could not start immediately. Cache-sourced prefetches
+    // use only the link channel and stay cheap.
+    if (isPrefetch) {
+        const bool needsStorage =
+            exec.kind() == ProcKind::CPU
+                ? !(cpuCache_.capacityBytes() > 0 && cpuCache_.contains(e))
+                : gpuLoadSource(e) == LoadSource::Ssd;
+        if (needsStorage && storage_->busyUntil() > eq_.now())
+            return false;
+    }
+
+    EvictionContext ctx;
+    ctx.model = &model_;
+    ctx.deps = &deps_;
+    ctx.usage = &usage_;
+    ctx.now = eq_.now();
+    ctx.allowSoftPinned = !isPrefetch;
+
+    SwitchCounters &sc = exec.mutableStats().switches;
+    while (pool.freeBytes() < bytes) {
+        const std::optional<ExpertId> victim =
+            eviction_->selectVictim(pool, ctx);
+        if (!victim) {
+            COSERVE_CHECK(isPrefetch,
+                          "demand load cannot free memory on pool ",
+                          pool.name());
+            return false;
+        }
+        const std::int64_t victimBytes = pool.entry(*victim).bytes;
+        pool.erase(*victim);
+        for (const auto &peer : executors_) {
+            if (peer->kind() == exec.kind())
+                peer->clearSoftPinIf(*victim);
+        }
+        sc.evictions += 1;
+        if (cpuCache_.capacityBytes() > 0 &&
+            exec.kind() == ProcKind::GPU) {
+            cpuCache_.insert(*victim, victimBytes, eq_.now());
+            sc.demotions += 1;
+        }
+    }
+
+    pool.beginLoad(e, bytes, ++loadSeq_);
+
+    const bool cacheResident =
+        cpuCache_.capacityBytes() > 0 && cpuCache_.contains(e);
+    const bool fromCache =
+        exec.kind() == ProcKind::GPU
+            ? gpuLoadSource(e) == LoadSource::CpuCache
+            : cacheResident;
+    if (fromCache) {
+        sc.loadsFromCache += 1;
+        cpuCache_.touch(e, eq_.now());
+    } else {
+        sc.loadsFromSsd += 1;
+    }
+    if (isPrefetch)
+        sc.prefetchLoads += 1;
+    sc.bytesLoaded += bytes;
+
+    auto finish = [this, &exec, e, bytes, fromCache, isPrefetch]() {
+        // Loads from SSD pass through CPU DRAM for deserialization;
+        // the materialized copy stays in the cache tier when present.
+        if (!fromCache && cpuCache_.capacityBytes() > 0)
+            cpuCache_.insert(e, bytes, eq_.now());
+        exec.mutablePool().finishLoad(e, eq_.now());
+        exec.onLoadFinished(e, isPrefetch);
+        // The pool is shared: peers of the same kind may have been
+        // waiting on this expert too.
+        for (const auto &peer : executors_) {
+            if (peer.get() != &exec && peer->kind() == exec.kind())
+                peer->onPoolChanged();
+        }
+    };
+
+    if (exec.kind() == ProcKind::CPU) {
+        if (cacheResident) {
+            // Same DRAM; the expert is adopted, not copied.
+            eq_.scheduleAfter(cfg_.device.linkFixedLatency,
+                              std::move(finish));
+        } else {
+            storage_->transfer(bytes, std::move(finish));
+        }
+    } else {
+        // GPU loads slow down under memory pressure (near-full GPU:
+        // allocator fragmentation); modelled as inflated transfer size.
+        const auto effBytes = static_cast<std::int64_t>(
+            static_cast<double>(bytes) * gpuPressure_);
+        if (fromCache) {
+            link_->transfer(effBytes, std::move(finish));
+        } else {
+            storage_->transfer(
+                effBytes,
+                [this, effBytes, finish = std::move(finish)]() mutable {
+                    link_->transfer(effBytes, std::move(finish));
+                });
+        }
+    }
+    return true;
+}
+
+void
+ServingEngine::onInferenceComplete(Executor &exec, const Request &req,
+                                   Time batchLatency)
+{
+    (void)exec;
+    result_.inferences += 1;
+    result_.inferenceLatencyMs.add(toMilliseconds(batchLatency));
+    result_.requestLatencyMs.add(toMilliseconds(eq_.now() - req.arrival));
+
+    const ComponentType &comp = model_.component(req.component);
+    const bool chainEnds = req.stage == Stage::Detect || req.defective ||
+                           comp.detector == kNoExpert;
+    if (chainEnds) {
+        imagesDone_ += 1;
+        lastCompletion_ = std::max(lastCompletion_, eq_.now());
+        return;
+    }
+
+    Request child;
+    child.id = nextRequestId_++;
+    child.imageId = req.imageId;
+    child.component = req.component;
+    child.expert = comp.detector;
+    child.stage = Stage::Detect;
+    child.arrival = eq_.now();
+    child.defective = false;
+    dispatchTimed(child);
+}
+
+void
+ServingEngine::dispatchTimed(const Request &req)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    scheduler_->dispatch(*this, req);
+    const auto t1 = std::chrono::steady_clock::now();
+    result_.schedulingWallUs.add(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+}
+
+void
+ServingEngine::preload()
+{
+    std::vector<ExpertId> order;
+    if (cfg_.preloadByUsage) {
+        order = usage_.byDescendingUsage();
+    } else {
+        // Usage-agnostic warm state: deterministic shuffle.
+        order.resize(model_.numExperts());
+        std::iota(order.begin(), order.end(), 0);
+        Rng rng(cfg_.preloadShuffleSeed);
+        for (std::size_t i = order.size(); i > 1; --i)
+            std::swap(order[i - 1], order[rng.uniformInt(i)]);
+    }
+
+    // Round-robin distribution by descending usage (Section 4.1).
+    std::size_t cursor = 0;
+    std::vector<ExpertId> overflow;
+    for (ExpertId e : order) {
+        const std::int64_t bytes = footprint_.expertBytes(archOf(e));
+        bool placed = false;
+        for (std::size_t attempt = 0;
+             attempt < executors_.size() && !placed; ++attempt) {
+            Executor &exec =
+                *executors_[(cursor + attempt) % executors_.size()];
+            if (exec.mutablePool().freeBytes() >= bytes) {
+                exec.mutablePool().insertResident(e, bytes, ++loadSeq_, 0);
+                cursor = (cursor + attempt + 1) % executors_.size();
+                placed = true;
+            }
+        }
+        if (!placed)
+            overflow.push_back(e);
+    }
+    // Remaining experts warm the CPU cache tier when present.
+    for (ExpertId e : overflow) {
+        if (cpuCache_.capacityBytes() == 0)
+            break;
+        const std::int64_t bytes = footprint_.expertBytes(archOf(e));
+        if (cpuCache_.usedBytes() + bytes > cpuCache_.capacityBytes())
+            break;
+        cpuCache_.insert(e, bytes, 0);
+    }
+}
+
+RunResult
+ServingEngine::run(const Trace &trace)
+{
+    COSERVE_CHECK(!ran_, "ServingEngine instances are single-use");
+    ran_ = true;
+    COSERVE_CHECK(!trace.arrivals.empty(), "empty trace");
+
+    result_.label = cfg_.label;
+    scheduler_->reset();
+    preload();
+
+    nextRequestId_ = static_cast<RequestId>(trace.arrivals.size());
+    for (std::size_t i = 0; i < trace.arrivals.size(); ++i) {
+        const ImageArrival &a = trace.arrivals[i];
+        Request req;
+        req.id = static_cast<RequestId>(i);
+        req.imageId = req.id;
+        req.component = a.component;
+        req.expert = model_.component(a.component).classifier;
+        req.stage = Stage::Classify;
+        req.arrival = a.time;
+        req.defective = a.defective;
+        eq_.schedule(a.time, [this, req]() { dispatchTimed(req); });
+    }
+
+    eq_.run();
+
+    COSERVE_CHECK(imagesDone_ ==
+                      static_cast<std::int64_t>(trace.arrivals.size()),
+                  "lost images: ", imagesDone_, " of ",
+                  trace.arrivals.size());
+
+    result_.images = imagesDone_;
+    result_.makespan = lastCompletion_;
+    result_.throughput =
+        lastCompletion_ > 0
+            ? static_cast<double>(imagesDone_) / toSeconds(lastCompletion_)
+            : 0.0;
+    for (const auto &exec : executors_) {
+        ExecutorStats st = exec->stats();
+        st.avgBatchSize =
+            st.batches > 0 ? static_cast<double>(st.requests) /
+                                 static_cast<double>(st.batches)
+                           : 0.0;
+        result_.switches.merge(st.switches);
+        result_.executors.push_back(std::move(st));
+    }
+    return result_;
+}
+
+} // namespace coserve

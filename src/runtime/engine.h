@@ -1,0 +1,179 @@
+/**
+ * @file
+ * The serving engine: ties executors, channels, policies and the CoE
+ * model into one runnable system (paper Figure 7).
+ *
+ * One engine instance executes one workload trace on one configured
+ * system (a CoServe variant or a Samba-CoE baseline) over the
+ * discrete-event core and returns a RunResult with the paper's metrics.
+ */
+
+#ifndef COSERVE_RUNTIME_ENGINE_H
+#define COSERVE_RUNTIME_ENGINE_H
+
+#include <memory>
+#include <vector>
+
+#include "coe/dependency.h"
+#include "coe/usage.h"
+#include "hw/transfer.h"
+#include "metrics/run_result.h"
+#include "model/footprint_model.h"
+#include "model/latency_model.h"
+#include "runtime/cpu_cache.h"
+#include "runtime/executor.h"
+#include "runtime/policies.h"
+#include "sim/channel.h"
+#include "sim/event_queue.h"
+#include "workload/trace.h"
+
+namespace coserve {
+
+/** Single-use serving system instance. */
+class ServingEngine
+{
+  public:
+    /**
+     * @param cfg resolved system configuration.
+     * @param model CoE model served (must outlive the engine).
+     * @param truth ground-truth execution latency model.
+     * @param footprint memory footprint model.
+     * @param usage expert usage profile (preload + eviction).
+     * @param scheduler request scheduler (ownership transferred).
+     * @param eviction eviction policy (ownership transferred).
+     */
+    ServingEngine(EngineConfig cfg, const CoEModel &model,
+                  const LatencyModel &truth,
+                  const FootprintModel &footprint,
+                  const UsageProfile &usage,
+                  std::unique_ptr<Scheduler> scheduler,
+                  std::unique_ptr<EvictionPolicy> eviction);
+
+    ~ServingEngine();
+
+    ServingEngine(const ServingEngine &) = delete;
+    ServingEngine &operator=(const ServingEngine &) = delete;
+
+    /** Serve @p trace to completion; callable once per engine. */
+    RunResult run(const Trace &trace);
+
+    // ----- API for Scheduler implementations -------------------------
+
+    /** @return number of executors. */
+    std::size_t numExecutors() const { return executors_.size(); }
+
+    /** @return executor @p i (schedulers inspect queues/pools). */
+    const Executor &executorAt(std::size_t i) const;
+
+    /**
+     * Deliver @p req to executor @p i. @p grouped selects arranged
+     * insertion; @p estimate is the scheduler's predicted additional
+     * latency (used for queue total-time bookkeeping).
+     */
+    void enqueue(std::size_t i, const Request &req, bool grouped,
+                 Time estimate = 0);
+
+    /**
+     * Predicted (uncontended) switch latency if @p e had to be loaded
+     * for executor @p i right now: 0 when resident or already demanded
+     * by a queued request (§4.2), else the transfer-model load time.
+     */
+    Time predictLoadTime(std::size_t i, ExpertId e) const;
+
+    /** Predicted execution time of one request on executor @p i. */
+    Time predictUnitLatency(std::size_t i, ArchId arch) const;
+
+    /** Current virtual time. */
+    Time now() const { return eq_.now(); }
+
+    /** @return the served CoE model. */
+    const CoEModel &model() const { return model_; }
+
+    /** @return the engine configuration. */
+    const EngineConfig &config() const { return cfg_; }
+
+    /** @return the usage profile. */
+    const UsageProfile &usage() const { return usage_; }
+
+    // ----- API for Executor ------------------------------------------
+
+    /**
+     * Begin loading @p e into @p exec's pool, evicting victims as
+     * needed through the configured policy.
+     *
+     * @param isPrefetch prefetch loads may fail (return false) instead
+     *        of evicting soft-pinned or unevictable entries.
+     * @return true when the load was started.
+     */
+    bool startLoad(Executor &exec, ExpertId e, bool isPrefetch);
+
+    /** Record completion of one inference request. */
+    void onInferenceComplete(Executor &exec, const Request &req,
+                             Time batchLatency);
+
+    /** Maximum executable batch size on executor @p i for @p arch. */
+    int maxExecutableBatch(const Executor &exec, ArchId arch) const;
+
+    /** @return event queue (executors schedule completions). */
+    EventQueue &eventQueue() { return eq_; }
+
+    /** @return ground-truth latency model. */
+    const LatencyModel &truth() const { return truth_; }
+
+    /** @return footprint model. */
+    const FootprintModel &footprint() const { return footprint_; }
+
+    /** @return dependency graph of the served model. */
+    const DependencyGraph &deps() const { return deps_; }
+
+    /**
+     * Slowdown of GPU expert loads when resident experts crowd the
+     * GPU: with the expert pool occupying more than ~80% of GPU
+     * memory, the framework allocator fragments and synchronously
+     * frees/compacts on every load (the "memory contention between
+     * intermediate results and experts" of Section 4.4). 1.0 when the
+     * batch workspace is comfortable.
+     */
+    double gpuMemoryPressure() const { return gpuPressure_; }
+
+  private:
+    void validate() const;
+    void preload();
+    void dispatchTimed(const Request &req);
+    ArchId archOf(ExpertId e) const;
+    /** Fastest available source for loading @p e into GPU memory. */
+    LoadSource gpuLoadSource(ExpertId e) const;
+
+    EngineConfig cfg_;
+    const CoEModel &model_;
+    const LatencyModel &truth_;
+    const FootprintModel &footprint_;
+    const UsageProfile &usage_;
+    DependencyGraph deps_;
+
+    EventQueue eq_;
+    TransferModel transfer_;
+    std::unique_ptr<BandwidthChannel> storage_;
+    std::unique_ptr<BandwidthChannel> link_;
+    /** Shared model pools, one per processor kind present. */
+    std::unique_ptr<ModelPool> gpuPool_;
+    std::unique_ptr<ModelPool> cpuPool_;
+    std::vector<std::unique_ptr<Executor>> executors_;
+    LruByteCache cpuCache_;
+
+    std::unique_ptr<Scheduler> scheduler_;
+    std::unique_ptr<EvictionPolicy> eviction_;
+
+    double gpuPressure_ = 1.0;
+    std::uint64_t loadSeq_ = 0;
+    RequestId nextRequestId_ = 0;
+    std::int64_t imagesDone_ = 0;
+    Time lastCompletion_ = 0;
+    bool ran_ = false;
+
+    RunResult result_;
+};
+
+} // namespace coserve
+
+#endif // COSERVE_RUNTIME_ENGINE_H

@@ -1,0 +1,120 @@
+#include "runtime/executor.h"
+
+#include "runtime/engine.h"
+#include "util/logging.h"
+
+namespace coserve {
+
+Executor::Executor(ServingEngine &engine, int index, std::string name,
+                   const ExecutorConfig &cfg, ModelPool &pool)
+    : engine_(engine), index_(index), name_(std::move(name)), cfg_(cfg),
+      pool_(pool)
+{
+    stats_.name = name_;
+}
+
+void
+Executor::enqueue(const Request &req, bool grouped, Time estimate)
+{
+    if (grouped)
+        queue_.pushGrouped(req, estimate);
+    else
+        queue_.pushBack(req, estimate);
+    maybeStart();
+}
+
+void
+Executor::maybeStart()
+{
+    if (executing_ || queue_.empty())
+        return;
+
+    const ExpertId e = queue_.headExpert();
+    if (pool_.resident(e)) {
+        startBatch();
+        return;
+    }
+    if (pool_.loading(e))
+        return; // onLoadFinished() resumes us.
+
+    // Demand switch: the head expert must be fetched before we can run.
+    demandLoadStart_ = engine_.now();
+    const bool started = engine_.startLoad(*this, e, /*isPrefetch=*/false);
+    COSERVE_CHECK(started, "demand load failed for expert ", e, " on ",
+                  name_);
+}
+
+void
+Executor::onLoadFinished(ExpertId e, bool wasPrefetch)
+{
+    if (!wasPrefetch && demandLoadStart_ >= 0) {
+        stats_.loadStall += engine_.now() - demandLoadStart_;
+        demandLoadStart_ = -1;
+    }
+    (void)e;
+    maybeStart();
+}
+
+void
+Executor::clearSoftPinIf(ExpertId e)
+{
+    if (softPinned_ == e)
+        softPinned_ = kNoExpert;
+}
+
+void
+Executor::startBatch()
+{
+    const ExpertId e = queue_.headExpert();
+    const ArchId arch = engine_.model().expert(e).arch;
+    const int maxBatch = engine_.maxExecutableBatch(*this, arch);
+    std::vector<Request> batch = queue_.popBatch(maxBatch);
+    COSERVE_CHECK(!batch.empty(), "empty batch");
+
+    pool_.pin(e);
+    pool_.touch(e, engine_.now());
+    if (softPinned_ == e) {
+        pool_.softUnpin(e);
+        softPinned_ = kNoExpert;
+    }
+
+    const auto n = static_cast<int>(batch.size());
+    const Time latency = engine_.truth().batchLatency(arch, cfg_.kind, n);
+    executing_ = true;
+    busyUntil_ = engine_.now() + latency;
+
+    stats_.batches += 1;
+    stats_.requests += n;
+    stats_.busyTime += latency;
+
+    // Overlap the next group's switch with this batch's execution.
+    issuePrefetch();
+
+    engine_.eventQueue().scheduleAfter(
+        latency, [this, e, latency, batch = std::move(batch)]() {
+            executing_ = false;
+            pool_.unpin(e);
+            pool_.touch(e, engine_.now());
+            for (const Request &req : batch)
+                engine_.onInferenceComplete(*this, req, latency);
+            maybeStart();
+        });
+}
+
+void
+Executor::issuePrefetch()
+{
+    if (!engine_.config().prefetch)
+        return;
+    const ExpertId next = queue_.nextDistinctExpert();
+    if (next == kNoExpert || pool_.contains(next))
+        return;
+    if (engine_.startLoad(*this, next, /*isPrefetch=*/true)) {
+        if (softPinned_ != kNoExpert && softPinned_ != next)
+            pool_.softUnpin(softPinned_);
+        pool_.softPin(next);
+        softPinned_ = next;
+    }
+}
+
+} // namespace coserve

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Inference executor: one CPU or GPU worker with its own request queue
+ * and model pool (paper Figure 7).
+ *
+ * The executor is an event-driven actor. Its loop:
+ *   1. take the head group of same-expert requests (batch splitter
+ *      bounds the batch by the maximum executable batch size, §4.2);
+ *   2. if the expert is absent, issue a demand load (the engine evicts
+ *      victims through the configured eviction policy, §4.3);
+ *   3. execute the batch for the modelled latency;
+ *   4. while executing, prefetch the next distinct expert in the queue
+ *      so its switch overlaps with computation ("the expert can be
+ *      loaded during the processing of a preceding request", §4.2).
+ */
+
+#ifndef COSERVE_RUNTIME_EXECUTOR_H
+#define COSERVE_RUNTIME_EXECUTOR_H
+
+#include <string>
+
+#include "metrics/run_result.h"
+#include "runtime/config.h"
+#include "runtime/pool.h"
+#include "runtime/queue.h"
+#include "workload/request.h"
+
+namespace coserve {
+
+class ServingEngine;
+
+/** One inference executor (GPU or CPU). */
+class Executor
+{
+  public:
+    /**
+     * @param engine owning engine (provides clock, channels, policies).
+     * @param index position in the engine's executor array.
+     * @param name diagnostic name ("GPU0", "CPU0", ...).
+     * @param cfg memory layout for this executor.
+     * @param pool model pool this executor draws experts from. Pools
+     *        are shared between executors of the same processor kind
+     *        (one GPU memory, one CPU DRAM); must outlive the executor.
+     */
+    Executor(ServingEngine &engine, int index, std::string name,
+             const ExecutorConfig &cfg, ModelPool &pool);
+
+    /** Insert a request (grouped or FIFO) and kick the loop. */
+    void enqueue(const Request &req, bool grouped, Time estimate);
+
+    /** Load-completion callback from the engine. */
+    void onLoadFinished(ExpertId e, bool wasPrefetch);
+
+    /** Start the next batch if idle and work is available. */
+    void maybeStart();
+
+    /** Drop the soft pin if it references @p e (eviction bookkeeping). */
+    void clearSoftPinIf(ExpertId e);
+
+    /** @return the queue (schedulers inspect it). */
+    const RequestQueue &queue() const { return queue_; }
+
+    /** @return the model pool (shared per processor kind). */
+    const ModelPool &pool() const { return pool_; }
+
+    /** @return mutable pool (engine load/evict path). */
+    ModelPool &mutablePool() { return pool_; }
+
+    /** Wake the executor after another executor's load completed. */
+    void onPoolChanged() { maybeStart(); }
+
+    /** Estimated time this executor finishes current work. */
+    Time busyUntil() const { return busyUntil_; }
+
+    /** @return true when no batch is running. */
+    bool idle() const { return !executing_; }
+
+    /** @return processor kind. */
+    ProcKind kind() const { return cfg_.kind; }
+
+    /** @return executor index in the engine. */
+    int index() const { return index_; }
+
+    /** @return batch workspace bytes. */
+    std::int64_t batchMemBytes() const { return cfg_.batchMemBytes; }
+
+    /** @return accumulated statistics. */
+    const ExecutorStats &stats() const { return stats_; }
+
+    /** @return mutable statistics (engine counters). */
+    ExecutorStats &mutableStats() { return stats_; }
+
+    /** @return diagnostic name. */
+    const std::string &name() const { return name_; }
+
+  private:
+    void startBatch();
+    void issuePrefetch();
+
+    ServingEngine &engine_;
+    int index_;
+    std::string name_;
+    ExecutorConfig cfg_;
+    ModelPool &pool_;
+    RequestQueue queue_;
+
+    bool executing_ = false;
+    ExpertId softPinned_ = kNoExpert;
+    Time busyUntil_ = 0;
+    /** Start time of an outstanding demand load; -1 when none. */
+    Time demandLoadStart_ = -1;
+    ExecutorStats stats_;
+};
+
+} // namespace coserve
+
+#endif // COSERVE_RUNTIME_EXECUTOR_H

@@ -1,0 +1,136 @@
+#include "runtime/pool.h"
+
+#include "util/logging.h"
+
+namespace coserve {
+
+ModelPool::ModelPool(std::string name, std::int64_t capacityBytes)
+    : name_(std::move(name)), capacity_(capacityBytes)
+{
+    COSERVE_CHECK(capacity_ > 0, "pool ", name_, " needs capacity");
+}
+
+bool
+ModelPool::resident(ExpertId e) const
+{
+    auto it = entries_.find(e);
+    return it != entries_.end() && !it->second.loading;
+}
+
+bool
+ModelPool::loading(ExpertId e) const
+{
+    auto it = entries_.find(e);
+    return it != entries_.end() && it->second.loading;
+}
+
+void
+ModelPool::beginLoad(ExpertId e, std::int64_t bytes, std::uint64_t seq)
+{
+    COSERVE_CHECK(!contains(e), "expert ", e, " already pooled in ",
+                  name_);
+    COSERVE_CHECK(bytes > 0 && bytes <= freeBytes(),
+                  "pool ", name_, " cannot reserve ", bytes, " bytes (",
+                  freeBytes(), " free)");
+    PoolEntry entry;
+    entry.bytes = bytes;
+    entry.loadSeq = seq;
+    entry.loading = true;
+    entry.pins = 1; // loads hard-pin themselves until completion
+    entries_.emplace(e, entry);
+    used_ += bytes;
+}
+
+void
+ModelPool::finishLoad(ExpertId e, Time now)
+{
+    PoolEntry &entry = mutableEntry(e);
+    COSERVE_CHECK(entry.loading, "expert ", e, " was not loading");
+    entry.loading = false;
+    entry.lastUse = now;
+    COSERVE_CHECK(entry.pins >= 1, "load pin lost");
+    entry.pins -= 1;
+}
+
+void
+ModelPool::insertResident(ExpertId e, std::int64_t bytes,
+                          std::uint64_t seq, Time now)
+{
+    COSERVE_CHECK(!contains(e), "expert ", e, " already pooled in ",
+                  name_);
+    COSERVE_CHECK(bytes > 0 && bytes <= freeBytes(),
+                  "pool ", name_, " overflow on preload");
+    PoolEntry entry;
+    entry.bytes = bytes;
+    entry.loadSeq = seq;
+    entry.lastUse = now;
+    entries_.emplace(e, entry);
+    used_ += bytes;
+}
+
+void
+ModelPool::erase(ExpertId e)
+{
+    auto it = entries_.find(e);
+    COSERVE_CHECK(it != entries_.end(), "evicting absent expert ", e);
+    COSERVE_CHECK(it->second.pins == 0, "evicting pinned expert ", e);
+    COSERVE_CHECK(!it->second.loading, "evicting in-flight expert ", e);
+    used_ -= it->second.bytes;
+    entries_.erase(it);
+}
+
+void
+ModelPool::touch(ExpertId e, Time now)
+{
+    PoolEntry &entry = mutableEntry(e);
+    entry.lastUse = now;
+    entry.uses += 1;
+}
+
+void
+ModelPool::pin(ExpertId e)
+{
+    mutableEntry(e).pins += 1;
+}
+
+void
+ModelPool::unpin(ExpertId e)
+{
+    PoolEntry &entry = mutableEntry(e);
+    COSERVE_CHECK(entry.pins > 0, "unpin of unpinned expert ", e);
+    entry.pins -= 1;
+}
+
+void
+ModelPool::softPin(ExpertId e)
+{
+    mutableEntry(e).softPinned = true;
+}
+
+void
+ModelPool::softUnpin(ExpertId e)
+{
+    auto it = entries_.find(e);
+    if (it != entries_.end())
+        it->second.softPinned = false;
+}
+
+const PoolEntry &
+ModelPool::entry(ExpertId e) const
+{
+    auto it = entries_.find(e);
+    COSERVE_CHECK(it != entries_.end(), "expert ", e, " not in pool ",
+                  name_);
+    return it->second;
+}
+
+PoolEntry &
+ModelPool::mutableEntry(ExpertId e)
+{
+    auto it = entries_.find(e);
+    COSERVE_CHECK(it != entries_.end(), "expert ", e, " not in pool ",
+                  name_);
+    return it->second;
+}
+
+} // namespace coserve

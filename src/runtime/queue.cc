@@ -1,0 +1,115 @@
+#include "runtime/queue.h"
+
+#include "util/logging.h"
+
+namespace coserve {
+
+void
+RequestQueue::pushBack(const Request &req, Time estimate)
+{
+    list_.push_back(Entry{req, estimate});
+    noteInserted(std::prev(list_.end()));
+}
+
+void
+RequestQueue::pushGrouped(const Request &req, Time estimate)
+{
+    auto git = groups_.find(req.expert);
+    if (git == groups_.end()) {
+        pushBack(req, estimate);
+        return;
+    }
+    auto pos = std::next(git->second.last);
+    auto it = list_.insert(pos, Entry{req, estimate});
+    noteInserted(it);
+}
+
+ExpertId
+RequestQueue::headExpert() const
+{
+    COSERVE_CHECK(!list_.empty(), "headExpert on empty queue");
+    return list_.front().req.expert;
+}
+
+std::vector<Request>
+RequestQueue::popBatch(int maxCount)
+{
+    COSERVE_CHECK(maxCount >= 1, "batch of ", maxCount);
+    COSERVE_CHECK(!list_.empty(), "popBatch on empty queue");
+
+    const ExpertId e = list_.front().req.expert;
+    std::vector<Request> batch;
+    while (!list_.empty() &&
+           batch.size() < static_cast<std::size_t>(maxCount) &&
+           list_.front().req.expert == e) {
+        auto it = list_.begin();
+        batch.push_back(it->req);
+        noteRemoved(it);
+        list_.erase(it);
+    }
+    return batch;
+}
+
+ExpertId
+RequestQueue::nextDistinctExpert() const
+{
+    if (list_.empty())
+        return kNoExpert;
+    const ExpertId head = list_.front().req.expert;
+    for (const Entry &entry : list_) {
+        if (entry.req.expert != head)
+            return entry.req.expert;
+    }
+    return kNoExpert;
+}
+
+bool
+RequestQueue::containsExpert(ExpertId e) const
+{
+    return groups_.count(e) > 0;
+}
+
+int
+RequestQueue::countForExpert(ExpertId e) const
+{
+    auto it = groups_.find(e);
+    return it == groups_.end() ? 0 : it->second.count;
+}
+
+std::vector<Request>
+RequestQueue::snapshot() const
+{
+    std::vector<Request> out;
+    out.reserve(list_.size());
+    for (const Entry &entry : list_)
+        out.push_back(entry.req);
+    return out;
+}
+
+void
+RequestQueue::noteInserted(std::list<Entry>::iterator it)
+{
+    GroupInfo &info = groups_[it->req.expert];
+    // The inserted entry is always the last occurrence of its expert:
+    // pushBack appends at the tail; pushGrouped inserts right after the
+    // previous last occurrence.
+    info.last = it;
+    info.count += 1;
+    pendingWork_ += it->estimate;
+}
+
+void
+RequestQueue::noteRemoved(std::list<Entry>::iterator it)
+{
+    auto git = groups_.find(it->req.expert);
+    COSERVE_CHECK(git != groups_.end(), "queue group lost");
+    git->second.count -= 1;
+    if (git->second.count == 0) {
+        COSERVE_CHECK(git->second.last == it,
+                      "group emptied but last iterator differs");
+        groups_.erase(git);
+    }
+    pendingWork_ -= it->estimate;
+}
+
+} // namespace coserve

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Per-executor request queue with expert-group bookkeeping.
+ *
+ * Supports both plain FIFO insertion (baselines) and *arranged*
+ * insertion (Section 4.2, Figure 9): a new request is placed directly
+ * behind the last queued request that uses the same expert, so requests
+ * sharing an expert are processed together and the expert is loaded at
+ * most once for the whole group.
+ *
+ * The queue also tracks the scheduler's per-request latency estimates
+ * so the dependency-aware scheduler can predict each queue's total
+ * inference time in O(1) (Figure 8).
+ */
+
+#ifndef COSERVE_RUNTIME_QUEUE_H
+#define COSERVE_RUNTIME_QUEUE_H
+
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "workload/request.h"
+
+namespace coserve {
+
+/** Ordered queue of pending requests for one executor. */
+class RequestQueue
+{
+  public:
+    /** One queued request plus the scheduler's latency estimate. */
+    struct Entry
+    {
+        Request req;
+        Time estimate = 0;
+    };
+
+    /** Append at the tail (FCFS order). */
+    void pushBack(const Request &req, Time estimate = 0);
+
+    /**
+     * Arranged insertion: place @p req right after the last queued
+     * request using the same expert; falls back to the tail when no
+     * such request exists.
+     */
+    void pushGrouped(const Request &req, Time estimate = 0);
+
+    /** @return true when no requests are queued. */
+    bool empty() const { return list_.empty(); }
+
+    /** @return queued request count. */
+    std::size_t size() const { return list_.size(); }
+
+    /** Expert of the head request; panics when empty. */
+    ExpertId headExpert() const;
+
+    /**
+     * Remove and return up to @p maxCount head requests that all use
+     * the head expert (one executable batch).
+     */
+    std::vector<Request> popBatch(int maxCount);
+
+    /**
+     * Expert of the first request group after the head group; used as
+     * the prefetch target. kNoExpert when the queue has one group.
+     */
+    ExpertId nextDistinctExpert() const;
+
+    /** @return true when some queued request uses @p e. */
+    bool containsExpert(ExpertId e) const;
+
+    /** @return number of queued requests using @p e. */
+    int countForExpert(ExpertId e) const;
+
+    /** Sum of scheduler estimates of all queued requests. */
+    Time pendingWork() const { return pendingWork_; }
+
+    /** Snapshot of queued requests in order (tests / debugging). */
+    std::vector<Request> snapshot() const;
+
+  private:
+    struct GroupInfo
+    {
+        std::list<Entry>::iterator last;
+        int count = 0;
+    };
+
+    void noteInserted(std::list<Entry>::iterator it);
+    void noteRemoved(std::list<Entry>::iterator it);
+
+    std::list<Entry> list_;
+    std::unordered_map<ExpertId, GroupInfo> groups_;
+    Time pendingWork_ = 0;
+};
+
+} // namespace coserve
+
+#endif // COSERVE_RUNTIME_QUEUE_H

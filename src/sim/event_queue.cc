@@ -1,0 +1,58 @@
+#include "sim/event_queue.h"
+
+namespace coserve {
+
+EventId
+EventQueue::schedule(Time when, Callback fn)
+{
+    COSERVE_CHECK(when >= now_, "scheduling into the past: ", when,
+                  " < ", now_);
+    const Key key{when, nextSeq_++};
+    events_.emplace(key, std::move(fn));
+    return EventId{key.when, key.seq};
+}
+
+EventId
+EventQueue::scheduleAfter(Time delay, Callback fn)
+{
+    COSERVE_CHECK(delay >= 0, "negative delay");
+    return schedule(now_ + delay, std::move(fn));
+}
+
+bool
+EventQueue::cancel(const EventId &id)
+{
+    return events_.erase(Key{id.when, id.seq}) > 0;
+}
+
+bool
+EventQueue::runOne()
+{
+    if (events_.empty())
+        return false;
+    auto it = events_.begin();
+    now_ = it->first.when;
+    Callback fn = std::move(it->second);
+    events_.erase(it);
+    ++executed_;
+    fn();
+    return true;
+}
+
+void
+EventQueue::run(std::uint64_t maxEvents)
+{
+    for (std::uint64_t i = 0; i < maxEvents && runOne(); ++i) {
+    }
+}
+
+void
+EventQueue::runUntil(Time until)
+{
+    while (!events_.empty() && events_.begin()->first.when <= until)
+        runOne();
+    if (now_ < until)
+        now_ = until;
+}
+
+} // namespace coserve

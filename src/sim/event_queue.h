@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Discrete-event scheduling core.
+ *
+ * The serving engine is written as an event-driven actor system on top
+ * of this queue: request arrivals, transfer completions and batch
+ * completions are all events. Events at equal timestamps execute in
+ * schedule order (a monotonically increasing sequence number breaks
+ * ties), which makes whole-system runs deterministic.
+ */
+
+#ifndef COSERVE_SIM_EVENT_QUEUE_H
+#define COSERVE_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/time.h"
+
+namespace coserve {
+
+/** Handle returned by EventQueue::schedule; usable to cancel. */
+struct EventId
+{
+    Time when = 0;
+    std::uint64_t seq = 0;
+
+    bool operator==(const EventId &o) const = default;
+};
+
+/**
+ * Deterministic discrete-event queue with a virtual clock.
+ *
+ * Not thread-safe by design: the whole simulation is single-threaded so
+ * that runs are reproducible (see DESIGN.md, substitution table).
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** @return the current virtual time. */
+    Time now() const { return now_; }
+
+    /**
+     * Schedule @p fn to run at absolute time @p when.
+     *
+     * @param when must be >= now().
+     * @param fn callback executed when the clock reaches @p when.
+     * @return handle for cancellation.
+     */
+    EventId schedule(Time when, Callback fn);
+
+    /** Schedule @p fn @p delay after now(). */
+    EventId scheduleAfter(Time delay, Callback fn);
+
+    /**
+     * Cancel a pending event.
+     * @return true if the event was pending and is now removed.
+     */
+    bool cancel(const EventId &id);
+
+    /**
+     * Execute the next event (advancing the clock).
+     * @return false when the queue is empty.
+     */
+    bool runOne();
+
+    /** Run until no events remain or @p maxEvents executed. */
+    void run(std::uint64_t maxEvents = UINT64_MAX);
+
+    /** Run events with timestamp <= @p until (clock ends at @p until). */
+    void runUntil(Time until);
+
+    /** @return number of pending events. */
+    std::size_t pending() const { return events_.size(); }
+
+    /** @return total number of events executed so far. */
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Key
+    {
+        Time when;
+        std::uint64_t seq;
+
+        bool
+        operator<(const Key &o) const
+        {
+            return when != o.when ? when < o.when : seq < o.seq;
+        }
+    };
+
+    std::map<Key, Callback> events_;
+    Time now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace coserve
+
+#endif // COSERVE_SIM_EVENT_QUEUE_H

@@ -1,0 +1,97 @@
+#include "workload/generator.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace coserve {
+
+Trace
+generateTrace(const CoEModel &model, const TaskSpec &task)
+{
+    COSERVE_CHECK(task.numImages > 0, "empty task");
+    COSERVE_CHECK(task.interarrival >= 0, "negative interarrival");
+    COSERVE_CHECK(task.burstSize >= 1, "bursts need at least one image");
+
+    Rng rng(task.seed);
+    std::vector<double> cdf(model.numComponents());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < model.numComponents(); ++i) {
+        acc += model.component(static_cast<ComponentId>(i)).imageProb;
+        cdf[i] = acc;
+    }
+
+    Trace trace;
+    trace.arrivals.reserve(task.numImages);
+    Time clock = 0;
+    for (std::size_t i = 0; i < task.numImages; ++i) {
+        ImageArrival a;
+        switch (task.arrivals) {
+          case ArrivalProcess::Fixed:
+            a.time = task.interarrival * static_cast<Time>(i);
+            break;
+          case ArrivalProcess::Poisson: {
+              const double u = rng.uniform();
+              clock += static_cast<Time>(
+                  -std::log(1.0 - u) *
+                  static_cast<double>(task.interarrival));
+              a.time = clock;
+              break;
+          }
+          case ArrivalProcess::Bursty: {
+              const std::size_t burst =
+                  i / static_cast<std::size_t>(task.burstSize);
+              a.time = task.interarrival *
+                       static_cast<Time>(task.burstSize) *
+                       static_cast<Time>(burst);
+              break;
+          }
+        }
+        a.component = static_cast<ComponentId>(rng.discreteFromCdf(cdf));
+        a.defective =
+            rng.bernoulli(model.component(a.component).defectProb);
+        trace.arrivals.push_back(a);
+    }
+    return trace;
+}
+
+namespace {
+
+TaskSpec
+makeTask(const char *name, std::size_t images, std::uint64_t seed)
+{
+    TaskSpec t;
+    t.name = name;
+    t.numImages = images;
+    t.seed = seed;
+    return t;
+}
+
+} // namespace
+
+TaskSpec
+taskA1()
+{
+    return makeTask("Task A1", 2500, 0xA1);
+}
+
+TaskSpec
+taskA2()
+{
+    return makeTask("Task A2", 3500, 0xA2);
+}
+
+TaskSpec
+taskB1()
+{
+    return makeTask("Task B1", 2500, 0xB1);
+}
+
+TaskSpec
+taskB2()
+{
+    return makeTask("Task B2", 3500, 0xB2);
+}
+
+} // namespace coserve

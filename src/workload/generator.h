@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Workload generation for the circuit-board inspection tasks.
+ *
+ * "In real-world production, a component image is input every 4 ms"
+ * (Section 5.1). Components are drawn from the board's image
+ * distribution; classification outcomes are pre-rolled with each
+ * component's defect probability so every system replays the identical
+ * workload.
+ *
+ * Task presets match the paper:
+ *   A1 = 2500 images of board A     A2 = 3500 images of board A
+ *   B1 = 2500 images of board B     B2 = 3500 images of board B
+ */
+
+#ifndef COSERVE_WORKLOAD_GENERATOR_H
+#define COSERVE_WORKLOAD_GENERATOR_H
+
+#include <cstdint>
+#include <string>
+
+#include "coe/coe_model.h"
+#include "workload/trace.h"
+
+namespace coserve {
+
+/** Arrival process of a task. */
+enum class ArrivalProcess
+{
+    /** One image every `interarrival` (the paper's production line). */
+    Fixed,
+    /** Poisson arrivals with mean gap `interarrival`. */
+    Poisson,
+    /** Bursts of `burstSize` back-to-back images every
+     *  `burstSize * interarrival` (panel-at-a-time camera feeds). */
+    Bursty,
+};
+
+/** Parameters of one evaluation task. */
+struct TaskSpec
+{
+    std::string name;
+    /** Number of input images. */
+    std::size_t numImages = 2500;
+    /** (Mean) interarrival gap (paper: 4 ms). */
+    Time interarrival = milliseconds(4);
+    ArrivalProcess arrivals = ArrivalProcess::Fixed;
+    /** Images per burst (Bursty only). */
+    int burstSize = 32;
+    std::uint64_t seed = 42;
+};
+
+/** Generate a trace for @p task against @p model. */
+Trace generateTrace(const CoEModel &model, const TaskSpec &task);
+
+/** Task A1: 2,500 requests of Circuit Board A. */
+TaskSpec taskA1();
+/** Task A2: 3,500 requests of Circuit Board A. */
+TaskSpec taskA2();
+/** Task B1: 2,500 requests of Circuit Board B. */
+TaskSpec taskB1();
+/** Task B2: 3,500 requests of Circuit Board B. */
+TaskSpec taskB2();
+
+} // namespace coserve
+
+#endif // COSERVE_WORKLOAD_GENERATOR_H

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Integration tests for the serving engine on a small board and a tiny
+ * device: completion, determinism, prefetch overlap, cache tier, and
+ * the effect of grouped scheduling on switch counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/evictions.h"
+#include "baselines/schedulers.h"
+#include "coe/board_builder.h"
+#include "core/scheduler.h"
+#include "core/two_stage_eviction.h"
+#include "runtime/engine.h"
+#include "workload/generator.h"
+
+namespace coserve {
+namespace {
+
+constexpr std::int64_t kMB = 1024 * 1024;
+
+/** Shared fixture: tiny board on the tiny NUMA test device. */
+class EngineFixture : public ::testing::Test
+{
+  protected:
+    EngineFixture()
+        : device_(tinyTestDevice()), model_(buildBoard(tinyBoard())),
+          truth_(LatencyModel::calibrated(device_)),
+          footprint_(FootprintModel::calibrated(device_)),
+          usage_(UsageProfile::exact(model_))
+    {
+        TaskSpec task;
+        task.name = "tiny";
+        task.numImages = 300;
+        task.seed = 5;
+        trace_ = generateTrace(model_, task);
+    }
+
+    EngineConfig
+    smallConfig(int gpuExecs, std::int64_t gpuPoolMB) const
+    {
+        EngineConfig cfg;
+        cfg.label = "test";
+        cfg.device = device_;
+        for (int i = 0; i < gpuExecs; ++i) {
+            ExecutorConfig e;
+            e.kind = ProcKind::GPU;
+            e.poolBytes = gpuPoolMB * kMB / gpuExecs;
+            e.batchMemBytes = 800 * kMB / gpuExecs;
+            cfg.executors.push_back(e);
+        }
+        EngineConfig tmp = cfg;
+        fillMaxBatchTable(cfg, truth_);
+        return cfg;
+    }
+
+    RunResult
+    runWith(EngineConfig cfg, std::unique_ptr<Scheduler> sched,
+            std::unique_ptr<EvictionPolicy> evict)
+    {
+        ServingEngine engine(std::move(cfg), model_, truth_, footprint_,
+                             usage_, std::move(sched), std::move(evict));
+        return engine.run(trace_);
+    }
+
+    DeviceSpec device_;
+    CoEModel model_;
+    LatencyModel truth_;
+    FootprintModel footprint_;
+    UsageProfile usage_;
+    Trace trace_;
+};
+
+TEST_F(EngineFixture, AllImagesComplete)
+{
+    const RunResult r =
+        runWith(smallConfig(1, 800),
+                std::make_unique<FcfsSingleScheduler>(),
+                std::make_unique<LruEviction>());
+    EXPECT_EQ(r.images, 300);
+    EXPECT_GE(r.inferences, r.images);
+    EXPECT_GT(r.throughput, 0.0);
+    EXPECT_GE(r.makespan, trace_.arrivals.back().time);
+}
+
+TEST_F(EngineFixture, NoSwitchesWhenEverythingFits)
+{
+    // 15 experts * ~190 MiB < 4 GiB: the preload holds the whole pool.
+    const RunResult r =
+        runWith(smallConfig(1, 4000),
+                std::make_unique<FcfsSingleScheduler>(),
+                std::make_unique<LruEviction>());
+    EXPECT_EQ(r.switches.total(), 0);
+    EXPECT_EQ(r.switches.evictions, 0);
+}
+
+TEST_F(EngineFixture, SwitchesHappenUnderPressure)
+{
+    const RunResult r =
+        runWith(smallConfig(1, 800), // ~4 experts of 15 fit
+                std::make_unique<FcfsSingleScheduler>(),
+                std::make_unique<LruEviction>());
+    EXPECT_GT(r.switches.total(), 0);
+    EXPECT_GT(r.switches.evictions, 0);
+    EXPECT_GT(r.switches.bytesLoaded, 0);
+}
+
+TEST_F(EngineFixture, DeterministicAcrossRuns)
+{
+    const RunResult a =
+        runWith(smallConfig(2, 1200),
+                std::make_unique<RoundRobinScheduler>(false),
+                std::make_unique<LruEviction>());
+    const RunResult b =
+        runWith(smallConfig(2, 1200),
+                std::make_unique<RoundRobinScheduler>(false),
+                std::make_unique<LruEviction>());
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.switches.total(), b.switches.total());
+    EXPECT_EQ(a.inferences, b.inferences);
+    EXPECT_EQ(a.assignments, b.assignments);
+}
+
+TEST_F(EngineFixture, GroupedInsertionReducesSwitches)
+{
+    const RunResult plain =
+        runWith(smallConfig(1, 800),
+                std::make_unique<RoundRobinScheduler>(false),
+                std::make_unique<LruEviction>());
+    const RunResult grouped =
+        runWith(smallConfig(1, 800),
+                std::make_unique<RoundRobinScheduler>(true),
+                std::make_unique<LruEviction>());
+    EXPECT_LT(grouped.switches.total(), plain.switches.total());
+    EXPECT_LT(grouped.makespan, plain.makespan);
+}
+
+TEST_F(EngineFixture, PrefetchOverlapsLoads)
+{
+    EngineConfig withPf = smallConfig(1, 800);
+    withPf.prefetch = true;
+    EngineConfig noPf = smallConfig(1, 800);
+    noPf.prefetch = false;
+
+    const RunResult a = runWith(std::move(withPf),
+                                std::make_unique<RoundRobinScheduler>(true),
+                                std::make_unique<TwoStageEviction>());
+    const RunResult b = runWith(std::move(noPf),
+                                std::make_unique<RoundRobinScheduler>(true),
+                                std::make_unique<TwoStageEviction>());
+    EXPECT_GT(a.switches.prefetchLoads, 0);
+    EXPECT_EQ(b.switches.prefetchLoads, 0);
+    // Overlapping switches with execution shortens the run.
+    EXPECT_LE(a.makespan, b.makespan);
+}
+
+TEST_F(EngineFixture, CacheTierServesRepeatLoads)
+{
+    EngineConfig cfg = smallConfig(1, 800);
+    cfg.cpuCacheTier = true;
+    cfg.cpuCacheBytes = 2000 * kMB;
+    const RunResult r = runWith(std::move(cfg),
+                                std::make_unique<FcfsSingleScheduler>(),
+                                std::make_unique<LruEviction>());
+    EXPECT_GT(r.switches.loadsFromCache, 0);
+    EXPECT_GT(r.switches.demotions, 0);
+
+    const RunResult noCache =
+        runWith(smallConfig(1, 800),
+                std::make_unique<FcfsSingleScheduler>(),
+                std::make_unique<LruEviction>());
+    EXPECT_LT(r.makespan, noCache.makespan);
+}
+
+TEST_F(EngineFixture, BatchingDisabledMeansSingletons)
+{
+    EngineConfig cfg = smallConfig(1, 1200);
+    cfg.batching = false;
+    const RunResult r = runWith(std::move(cfg),
+                                std::make_unique<RoundRobinScheduler>(true),
+                                std::make_unique<LruEviction>());
+    for (const ExecutorStats &es : r.executors)
+        EXPECT_LE(es.avgBatchSize, 1.0 + 1e-9);
+}
+
+TEST_F(EngineFixture, LatencySamplesMatchInferences)
+{
+    const RunResult r =
+        runWith(smallConfig(1, 800),
+                std::make_unique<FcfsSingleScheduler>(),
+                std::make_unique<LruEviction>());
+    EXPECT_EQ(r.requestLatencyMs.count(),
+              static_cast<std::size_t>(r.inferences));
+    EXPECT_EQ(r.inferenceLatencyMs.count(),
+              static_cast<std::size_t>(r.inferences));
+    EXPECT_GT(r.requestLatencyMs.mean(), 0.0);
+}
+
+TEST_F(EngineFixture, ExecutorStatsConsistent)
+{
+    const RunResult r =
+        runWith(smallConfig(2, 1200),
+                std::make_unique<RoundRobinScheduler>(false),
+                std::make_unique<LruEviction>());
+    std::int64_t requests = 0, switches = 0;
+    for (const ExecutorStats &es : r.executors) {
+        requests += es.requests;
+        switches += es.switches.total();
+        EXPECT_GE(es.busyTime, 0);
+    }
+    EXPECT_EQ(requests, r.inferences);
+    EXPECT_EQ(switches, r.switches.total());
+}
+
+TEST_F(EngineFixture, EngineIsSingleUse)
+{
+    ServingEngine engine(smallConfig(1, 800), model_, truth_, footprint_,
+                         usage_, std::make_unique<FcfsSingleScheduler>(),
+                         std::make_unique<LruEviction>());
+    engine.run(trace_);
+    EXPECT_DEATH(engine.run(trace_), "single-use");
+}
+
+TEST_F(EngineFixture, DependencyAwareBeatsFcfsUnderPressure)
+{
+    EngineConfig cfgA = smallConfig(2, 1200);
+    cfgA.prefetch = true;
+    const RunResult coserve =
+        runWith(std::move(cfgA),
+                std::make_unique<DependencyAwareScheduler>(),
+                std::make_unique<TwoStageEviction>());
+
+    EngineConfig cfgB = smallConfig(2, 1200);
+    cfgB.prefetch = false;
+    cfgB.preloadByUsage = false;
+    const RunResult fcfs =
+        runWith(std::move(cfgB),
+                std::make_unique<RoundRobinScheduler>(false),
+                std::make_unique<LruEviction>());
+
+    EXPECT_GT(coserve.throughput, fcfs.throughput);
+    EXPECT_LT(coserve.switches.total(), fcfs.switches.total());
+}
+
+TEST_F(EngineFixture, PredictLoadTimeSemantics)
+{
+    ServingEngine engine(smallConfig(1, 4000), model_, truth_,
+                         footprint_, usage_,
+                         std::make_unique<FcfsSingleScheduler>(),
+                         std::make_unique<LruEviction>());
+    engine.run(trace_); // preloads everything (pool holds all experts)
+    // Resident expert: zero switch latency (Section 4.2).
+    EXPECT_EQ(engine.predictLoadTime(0, 0), 0);
+}
+
+} // namespace
+} // namespace coserve

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for the extension features beyond the paper's core: the report
+ * module, LFU eviction, and the Poisson/bursty arrival processes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "baselines/evictions.h"
+#include "baselines/systems.h"
+#include "coe/board_builder.h"
+#include "metrics/report.h"
+#include "workload/generator.h"
+
+namespace coserve {
+namespace {
+
+constexpr std::int64_t kMB = 1024 * 1024;
+
+TEST(ReportTest, SummaryMentionsKeyNumbers)
+{
+    RunResult r;
+    r.label = "unit-system";
+    r.images = 100;
+    r.inferences = 140;
+    r.makespan = seconds(10);
+    r.throughput = 10.0;
+    r.switches.loadsFromSsd = 7;
+    r.switches.loadsFromCache = 3;
+    for (int i = 0; i < 140; ++i)
+        r.requestLatencyMs.add(5.0);
+    const std::string s = summarize(r);
+    EXPECT_NE(s.find("unit-system"), std::string::npos);
+    EXPECT_NE(s.find("100 images"), std::string::npos);
+    EXPECT_NE(s.find("10 expert switches"), std::string::npos);
+}
+
+TEST(ReportTest, ComparisonUsesFirstAsBaseline)
+{
+    RunResult base;
+    base.label = "baseline";
+    base.throughput = 5.0;
+    base.switches.loadsFromSsd = 100;
+    RunResult better;
+    better.label = "better";
+    better.throughput = 20.0;
+    better.switches.loadsFromSsd = 10;
+
+    std::ostringstream os;
+    printComparison({base, better}, os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("4.00x"), std::string::npos);
+    EXPECT_NE(s.find("90.0%"), std::string::npos);
+}
+
+TEST(ReportTest, ExecutorSummaryHasOneRowPerExecutor)
+{
+    RunResult r;
+    ExecutorStats a;
+    a.name = "GPU0";
+    ExecutorStats b;
+    b.name = "CPU0";
+    r.executors = {a, b};
+    const std::string s = summarizeExecutors(r);
+    EXPECT_NE(s.find("GPU0"), std::string::npos);
+    EXPECT_NE(s.find("CPU0"), std::string::npos);
+}
+
+TEST(LfuEvictionTest, PicksLeastFrequentlyUsed)
+{
+    ModelPool pool("p", 1000 * kMB);
+    pool.insertResident(1, 10 * kMB, 1, 0);
+    pool.insertResident(2, 10 * kMB, 2, 0);
+    pool.touch(1, 10);
+    pool.touch(1, 20);
+    pool.touch(2, 30);
+
+    EvictionContext ctx;
+    LfuEviction lfu;
+    EXPECT_EQ(lfu.selectVictim(pool, ctx), std::optional<ExpertId>(2));
+}
+
+TEST(LfuEvictionTest, TiesBreakByRecency)
+{
+    ModelPool pool("p", 1000 * kMB);
+    pool.insertResident(1, 10 * kMB, 1, 0);
+    pool.insertResident(2, 10 * kMB, 2, 0);
+    pool.touch(1, 50);
+    pool.touch(2, 10); // same frequency, older
+
+    EvictionContext ctx;
+    LfuEviction lfu;
+    EXPECT_EQ(lfu.selectVictim(pool, ctx), std::optional<ExpertId>(2));
+    EXPECT_STREQ(lfu.name(), "lfu");
+}
+
+TEST(ArrivalProcessTest, PoissonMeanGapMatches)
+{
+    const CoEModel m = buildBoard(tinyBoard());
+    TaskSpec task;
+    task.numImages = 20000;
+    task.arrivals = ArrivalProcess::Poisson;
+    task.interarrival = milliseconds(4);
+    const Trace t = generateTrace(m, task);
+    const double meanGap =
+        toMilliseconds(t.arrivals.back().time) /
+        static_cast<double>(t.size() - 1);
+    EXPECT_NEAR(meanGap, 4.0, 0.2);
+    for (std::size_t i = 1; i < t.size(); ++i)
+        EXPECT_GE(t.arrivals[i].time, t.arrivals[i - 1].time);
+}
+
+TEST(ArrivalProcessTest, BurstyGroupsArrivals)
+{
+    const CoEModel m = buildBoard(tinyBoard());
+    TaskSpec task;
+    task.numImages = 96;
+    task.arrivals = ArrivalProcess::Bursty;
+    task.burstSize = 32;
+    task.interarrival = milliseconds(4);
+    const Trace t = generateTrace(m, task);
+    // First 32 arrive together at t=0, next 32 at 128 ms, ...
+    EXPECT_EQ(t.arrivals[0].time, 0);
+    EXPECT_EQ(t.arrivals[31].time, 0);
+    EXPECT_EQ(t.arrivals[32].time, milliseconds(128));
+    EXPECT_EQ(t.arrivals[95].time, milliseconds(256));
+}
+
+TEST(ArrivalProcessTest, EngineServesAllProcesses)
+{
+    const CoEModel m = buildBoard(tinyBoard());
+    Harness h(tinyTestDevice(), m);
+    for (ArrivalProcess p : {ArrivalProcess::Fixed,
+                             ArrivalProcess::Poisson,
+                             ArrivalProcess::Bursty}) {
+        TaskSpec task;
+        task.numImages = 200;
+        task.arrivals = p;
+        const Trace t = generateTrace(m, task);
+        const RunResult r = h.run(SystemKind::CoServeCasual, t);
+        EXPECT_EQ(r.images, 200);
+    }
+}
+
+} // namespace
+} // namespace coserve

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Unit tests for ModelPool, RequestQueue and LruByteCache — the state
+ * machines the serving runtime is built from.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/cpu_cache.h"
+#include "runtime/pool.h"
+#include "runtime/queue.h"
+#include "util/rng.h"
+
+namespace coserve {
+namespace {
+
+constexpr std::int64_t kMB = 1024 * 1024;
+
+TEST(ModelPoolTest, LoadLifecycle)
+{
+    ModelPool pool("p", 100 * kMB);
+    EXPECT_FALSE(pool.contains(1));
+    pool.beginLoad(1, 40 * kMB, 7);
+    EXPECT_TRUE(pool.contains(1));
+    EXPECT_TRUE(pool.loading(1));
+    EXPECT_FALSE(pool.resident(1));
+    EXPECT_EQ(pool.usedBytes(), 40 * kMB);
+    pool.finishLoad(1, 123);
+    EXPECT_TRUE(pool.resident(1));
+    EXPECT_EQ(pool.entry(1).lastUse, 123);
+    EXPECT_EQ(pool.entry(1).loadSeq, 7u);
+}
+
+TEST(ModelPoolTest, InsertResidentAndErase)
+{
+    ModelPool pool("p", 100 * kMB);
+    pool.insertResident(2, 60 * kMB, 1, 0);
+    EXPECT_TRUE(pool.resident(2));
+    EXPECT_EQ(pool.freeBytes(), 40 * kMB);
+    pool.erase(2);
+    EXPECT_FALSE(pool.contains(2));
+    EXPECT_EQ(pool.freeBytes(), 100 * kMB);
+}
+
+TEST(ModelPoolTest, PinsProtect)
+{
+    ModelPool pool("p", 100 * kMB);
+    pool.insertResident(1, 10 * kMB, 1, 0);
+    pool.pin(1);
+    EXPECT_EQ(pool.entry(1).pins, 1);
+    EXPECT_DEATH(pool.erase(1), "pinned");
+    pool.unpin(1);
+    pool.erase(1);
+}
+
+TEST(ModelPoolTest, LoadingEntryIsPinned)
+{
+    ModelPool pool("p", 100 * kMB);
+    pool.beginLoad(1, 10 * kMB, 1);
+    EXPECT_DEATH(pool.erase(1), "pinned|in-flight");
+}
+
+TEST(ModelPoolTest, SoftPinBookkeeping)
+{
+    ModelPool pool("p", 100 * kMB);
+    pool.insertResident(1, 10 * kMB, 1, 0);
+    pool.softPin(1);
+    EXPECT_TRUE(pool.entry(1).softPinned);
+    pool.softUnpin(1);
+    EXPECT_FALSE(pool.entry(1).softPinned);
+    pool.softUnpin(42); // absent: no-op
+}
+
+TEST(ModelPoolTest, TouchUpdatesLastUse)
+{
+    ModelPool pool("p", 100 * kMB);
+    pool.insertResident(1, 10 * kMB, 1, 5);
+    pool.touch(1, 77);
+    EXPECT_EQ(pool.entry(1).lastUse, 77);
+}
+
+TEST(ModelPoolTest, OverflowRejected)
+{
+    ModelPool pool("p", 50 * kMB);
+    pool.insertResident(1, 30 * kMB, 1, 0);
+    EXPECT_DEATH(pool.beginLoad(2, 30 * kMB, 2), "reserve");
+}
+
+TEST(ModelPoolTest, DoubleInsertRejected)
+{
+    ModelPool pool("p", 100 * kMB);
+    pool.insertResident(1, 10 * kMB, 1, 0);
+    EXPECT_DEATH(pool.insertResident(1, 10 * kMB, 2, 0), "already");
+}
+
+Request
+makeReq(RequestId id, ExpertId expert)
+{
+    Request r;
+    r.id = id;
+    r.imageId = id;
+    r.component = 0;
+    r.expert = expert;
+    return r;
+}
+
+TEST(RequestQueueTest, FifoOrder)
+{
+    RequestQueue q;
+    q.pushBack(makeReq(0, 10));
+    q.pushBack(makeReq(1, 11));
+    q.pushBack(makeReq(2, 10));
+    EXPECT_EQ(q.size(), 3u);
+    EXPECT_EQ(q.headExpert(), 10);
+    const auto batch = q.popBatch(8);
+    EXPECT_EQ(batch.size(), 1u); // head run stops at the expert switch
+    EXPECT_EQ(q.headExpert(), 11);
+}
+
+TEST(RequestQueueTest, GroupedInsertionJoinsGroup)
+{
+    RequestQueue q;
+    q.pushBack(makeReq(0, 10));
+    q.pushBack(makeReq(1, 11));
+    q.pushGrouped(makeReq(2, 10)); // should slot behind request 0
+    const auto snap = q.snapshot();
+    ASSERT_EQ(snap.size(), 3u);
+    EXPECT_EQ(snap[0].expert, 10);
+    EXPECT_EQ(snap[1].expert, 10);
+    EXPECT_EQ(snap[2].expert, 11);
+}
+
+TEST(RequestQueueTest, GroupedFallsBackToTail)
+{
+    RequestQueue q;
+    q.pushBack(makeReq(0, 10));
+    q.pushGrouped(makeReq(1, 99));
+    EXPECT_EQ(q.snapshot().back().expert, 99);
+}
+
+TEST(RequestQueueTest, PopBatchHonorsMax)
+{
+    RequestQueue q;
+    for (int i = 0; i < 10; ++i)
+        q.pushGrouped(makeReq(i, 7));
+    const auto batch = q.popBatch(4);
+    EXPECT_EQ(batch.size(), 4u);
+    EXPECT_EQ(q.size(), 6u);
+    EXPECT_EQ(q.countForExpert(7), 6);
+}
+
+TEST(RequestQueueTest, NextDistinctExpert)
+{
+    RequestQueue q;
+    EXPECT_EQ(q.nextDistinctExpert(), kNoExpert);
+    q.pushBack(makeReq(0, 5));
+    q.pushBack(makeReq(1, 5));
+    EXPECT_EQ(q.nextDistinctExpert(), kNoExpert);
+    q.pushBack(makeReq(2, 6));
+    EXPECT_EQ(q.nextDistinctExpert(), 6);
+}
+
+TEST(RequestQueueTest, ContainsAndCounts)
+{
+    RequestQueue q;
+    q.pushGrouped(makeReq(0, 5));
+    q.pushGrouped(makeReq(1, 5));
+    EXPECT_TRUE(q.containsExpert(5));
+    EXPECT_FALSE(q.containsExpert(6));
+    EXPECT_EQ(q.countForExpert(5), 2);
+    q.popBatch(8);
+    EXPECT_FALSE(q.containsExpert(5));
+}
+
+TEST(RequestQueueTest, PendingWorkTracksEstimates)
+{
+    RequestQueue q;
+    q.pushGrouped(makeReq(0, 5), milliseconds(10));
+    q.pushGrouped(makeReq(1, 6), milliseconds(20));
+    EXPECT_EQ(q.pendingWork(), milliseconds(30));
+    q.popBatch(8);
+    EXPECT_EQ(q.pendingWork(), milliseconds(20));
+}
+
+TEST(RequestQueueTest, GroupsStayContiguousUnderGroupedInsertion)
+{
+    // Property: with grouped insertion only, all requests of an expert
+    // form one contiguous run.
+    RequestQueue q;
+    Rng rng(17);
+    for (int i = 0; i < 500; ++i)
+        q.pushGrouped(makeReq(i, static_cast<ExpertId>(
+                                     rng.uniformInt(12))));
+    const auto snap = q.snapshot();
+    std::vector<bool> closed(12, false);
+    ExpertId current = kNoExpert;
+    for (const Request &r : snap) {
+        if (r.expert != current) {
+            if (current != kNoExpert)
+                closed[static_cast<std::size_t>(current)] = true;
+            ASSERT_FALSE(closed[static_cast<std::size_t>(r.expert)])
+                << "expert " << r.expert << " appears in two runs";
+            current = r.expert;
+        }
+    }
+}
+
+TEST(LruByteCacheTest, InsertAndEvictLru)
+{
+    LruByteCache cache(100 * kMB);
+    cache.insert(1, 40 * kMB, 10);
+    cache.insert(2, 40 * kMB, 20);
+    cache.insert(3, 40 * kMB, 30); // evicts 1 (oldest)
+    EXPECT_FALSE(cache.contains(1));
+    EXPECT_TRUE(cache.contains(2));
+    EXPECT_TRUE(cache.contains(3));
+    EXPECT_EQ(cache.evictions(), 1);
+}
+
+TEST(LruByteCacheTest, TouchRefreshesRecency)
+{
+    LruByteCache cache(100 * kMB);
+    cache.insert(1, 40 * kMB, 10);
+    cache.insert(2, 40 * kMB, 20);
+    cache.touch(1, 30);
+    cache.insert(3, 40 * kMB, 40); // now 2 is oldest
+    EXPECT_TRUE(cache.contains(1));
+    EXPECT_FALSE(cache.contains(2));
+}
+
+TEST(LruByteCacheTest, DisabledCacheIgnoresInserts)
+{
+    LruByteCache cache(0);
+    cache.insert(1, kMB, 0);
+    EXPECT_FALSE(cache.contains(1));
+    EXPECT_EQ(cache.usedBytes(), 0);
+}
+
+TEST(LruByteCacheTest, OversizedEntryIgnored)
+{
+    LruByteCache cache(10 * kMB);
+    cache.insert(1, 20 * kMB, 0);
+    EXPECT_FALSE(cache.contains(1));
+}
+
+TEST(LruByteCacheTest, EraseFreesBytes)
+{
+    LruByteCache cache(100 * kMB);
+    cache.insert(1, 40 * kMB, 0);
+    cache.erase(1);
+    EXPECT_EQ(cache.usedBytes(), 0);
+    cache.erase(1); // absent: no-op
+}
+
+} // namespace
+} // namespace coserve

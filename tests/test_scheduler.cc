@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Unit tests for the dependency-aware scheduler's latency prediction
+ * (paper Section 4.2) and the replay scheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/schedulers.h"
+#include "coe/board_builder.h"
+#include "core/scheduler.h"
+#include "core/two_stage_eviction.h"
+#include "runtime/engine.h"
+#include "workload/generator.h"
+
+namespace coserve {
+namespace {
+
+constexpr std::int64_t kMB = 1024 * 1024;
+
+class SchedulerTest : public ::testing::Test
+{
+  protected:
+    SchedulerTest()
+        : device_(tinyTestDevice()), model_(buildBoard(tinyBoard())),
+          truth_(LatencyModel::calibrated(device_)),
+          footprint_(FootprintModel::calibrated(device_)),
+          usage_(UsageProfile::exact(model_))
+    {
+    }
+
+    EngineConfig
+    config(int gpuExecs, std::int64_t poolMB) const
+    {
+        EngineConfig cfg;
+        cfg.label = "sched-test";
+        cfg.device = device_;
+        for (int i = 0; i < gpuExecs; ++i) {
+            ExecutorConfig e;
+            e.kind = ProcKind::GPU;
+            e.poolBytes = poolMB * kMB / gpuExecs;
+            e.batchMemBytes = 800 * kMB / gpuExecs;
+            cfg.executors.push_back(e);
+        }
+        fillMaxBatchTable(cfg, truth_);
+        return cfg;
+    }
+
+    Request
+    requestFor(ComponentId c) const
+    {
+        Request r;
+        r.id = 0;
+        r.imageId = 0;
+        r.component = c;
+        r.expert = model_.component(c).classifier;
+        r.stage = Stage::Classify;
+        return r;
+    }
+
+    DeviceSpec device_;
+    CoEModel model_;
+    LatencyModel truth_;
+    FootprintModel footprint_;
+    UsageProfile usage_;
+};
+
+TEST_F(SchedulerTest, AdditionalLatencyForResidentExpert)
+{
+    // Big pool: after one run everything is resident and queues are
+    // empty; additional latency = K + B exactly (new group, no switch).
+    ServingEngine engine(config(1, 4000), model_, truth_, footprint_,
+                         usage_,
+                         std::make_unique<DependencyAwareScheduler>(),
+                         std::make_unique<TwoStageEviction>());
+    TaskSpec task;
+    task.numImages = 20;
+    engine.run(generateTrace(model_, task));
+
+    DependencyAwareScheduler sched;
+    const Request req = requestFor(0);
+    const LatencyParams &p =
+        truth_.params(model_.expert(req.expert).arch, ProcKind::GPU);
+    EXPECT_EQ(sched.additionalLatency(engine, 0, req),
+              p.perImage + p.fixed);
+}
+
+TEST_F(SchedulerTest, AdditionalLatencyIncludesSwitch)
+{
+    // Tiny pool: most experts are absent, so the prediction includes
+    // the load latency.
+    ServingEngine engine(config(1, 800), model_, truth_, footprint_,
+                         usage_,
+                         std::make_unique<DependencyAwareScheduler>(),
+                         std::make_unique<TwoStageEviction>());
+    TaskSpec task;
+    task.numImages = 20;
+    engine.run(generateTrace(model_, task));
+
+    DependencyAwareScheduler sched;
+    // Find one resident and one absent classifier.
+    ExpertId resident = kNoExpert, absent = kNoExpert;
+    for (const ComponentType &c : model_.components()) {
+        if (engine.executorAt(0).pool().contains(c.classifier))
+            resident = c.classifier;
+        else
+            absent = c.classifier;
+    }
+    ASSERT_NE(resident, kNoExpert);
+    ASSERT_NE(absent, kNoExpert);
+
+    Request r1 = requestFor(0);
+    r1.expert = resident;
+    Request r2 = requestFor(0);
+    r2.expert = absent;
+    const Time t1 = sched.additionalLatency(engine, 0, r1);
+    const Time t2 = sched.additionalLatency(engine, 0, r2);
+    EXPECT_EQ(t2 - t1, engine.predictLoadTime(0, absent));
+    EXPECT_GT(t2, t1);
+}
+
+TEST_F(SchedulerTest, PerfMatrixOverridesTruth)
+{
+    ServingEngine engine(config(1, 4000), model_, truth_, footprint_,
+                         usage_,
+                         std::make_unique<DependencyAwareScheduler>(),
+                         std::make_unique<TwoStageEviction>());
+    TaskSpec task;
+    task.numImages = 10;
+    engine.run(generateTrace(model_, task));
+
+    PerfMatrix perf;
+    PerfEntry entry;
+    entry.k = milliseconds(100);
+    entry.b = milliseconds(7);
+    entry.maxBatch = 4;
+    perf.set(ArchId::ResNet101, ProcKind::GPU, entry);
+    DependencyAwareScheduler sched(&perf);
+    const Request req = requestFor(0);
+    EXPECT_EQ(sched.additionalLatency(engine, 0, req),
+              milliseconds(107));
+}
+
+TEST_F(SchedulerTest, ReplayRejectsUnknownRequests)
+{
+    ServingEngine engine(config(1, 4000), model_, truth_, footprint_,
+                         usage_,
+                         std::make_unique<ReplayScheduler>(
+                             std::vector<int>{}, true),
+                         std::make_unique<TwoStageEviction>());
+    TaskSpec task;
+    task.numImages = 5;
+    const Trace t = generateTrace(model_, task);
+    EXPECT_DEATH(engine.run(t), "recorded");
+}
+
+TEST_F(SchedulerTest, SchedulerNames)
+{
+    EXPECT_STREQ(DependencyAwareScheduler().name(), "dependency-aware");
+    EXPECT_STREQ(FcfsSingleScheduler().name(), "fcfs");
+    EXPECT_STREQ(RoundRobinScheduler(false).name(), "round-robin");
+    EXPECT_STREQ(RoundRobinScheduler(true).name(),
+                 "round-robin+arrange");
+    EXPECT_STREQ(ReplayScheduler({}, false).name(), "replay");
+}
+
+} // namespace
+} // namespace coserve

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * System-level integration tests: the full harness reproduces the
+ * qualitative results of the paper's evaluation (Section 5) — CoServe
+ * beats every baseline, switch counts collapse, ablations are
+ * monotonic, and pre-scheduled replay matches the online run.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/systems.h"
+#include "coe/board_builder.h"
+
+namespace coserve {
+namespace {
+
+/** One harness per device, built once (profiling is deterministic). */
+class SystemsTest : public ::testing::Test
+{
+  protected:
+    static CoEModel &
+    model()
+    {
+        static CoEModel m = buildBoard(boardA());
+        return m;
+    }
+
+    static Harness &
+    numa()
+    {
+        static Harness h(numaRtx3080Ti(), model());
+        return h;
+    }
+
+    static Harness &
+    uma()
+    {
+        static Harness h(umaAppleM2(), model());
+        return h;
+    }
+
+    static Trace &
+    traceA1()
+    {
+        static Trace t = generateTrace(model(), taskA1());
+        return t;
+    }
+};
+
+TEST_F(SystemsTest, AllSystemsCompleteTheTask)
+{
+    for (SystemKind kind :
+         {SystemKind::SambaCoE, SystemKind::SambaFifo,
+          SystemKind::SambaParallel, SystemKind::CoServeNone,
+          SystemKind::CoServeEM, SystemKind::CoServeEMRA,
+          SystemKind::CoServeCasual, SystemKind::CoServeBest}) {
+        const RunResult r = numa().run(kind, traceA1());
+        EXPECT_EQ(r.images,
+                  static_cast<std::int64_t>(traceA1().size()))
+            << toString(kind);
+        EXPECT_GT(r.throughput, 0.0) << toString(kind);
+    }
+}
+
+TEST_F(SystemsTest, HeadlineCoServeBeatsBaselines)
+{
+    // Figure 13: CoServe achieves 4.5x-12x the baseline throughput.
+    const double samba =
+        numa().run(SystemKind::SambaCoE, traceA1()).throughput;
+    const double fifo =
+        numa().run(SystemKind::SambaFifo, traceA1()).throughput;
+    const double parallel =
+        numa().run(SystemKind::SambaParallel, traceA1()).throughput;
+    const double best =
+        numa().run(SystemKind::CoServeBest, traceA1()).throughput;
+    const double casual =
+        numa().run(SystemKind::CoServeCasual, traceA1()).throughput;
+
+    EXPECT_GT(best / samba, 3.0);
+    EXPECT_LT(best / samba, 14.0);
+    EXPECT_GT(best / fifo, 3.0);
+    EXPECT_GT(best / parallel, 3.0);
+    EXPECT_GT(casual / samba, 2.5);
+    // Parallel is the strongest baseline (Figure 13).
+    EXPECT_GT(parallel, samba);
+    EXPECT_GT(samba, fifo);
+}
+
+TEST_F(SystemsTest, SwitchCountsCollapse)
+{
+    // Figure 14: CoServe reduces expert switching by roughly 80-94%.
+    const auto samba = numa().run(SystemKind::SambaCoE, traceA1());
+    const auto best = numa().run(SystemKind::CoServeBest, traceA1());
+    EXPECT_LT(best.switches.total(), samba.switches.total() / 2);
+}
+
+TEST_F(SystemsTest, AblationIsMonotonic)
+{
+    // Figures 15/16: each technique adds throughput and removes
+    // switches: None < EM < EM+RA < full CoServe.
+    const auto none = numa().run(SystemKind::CoServeNone, traceA1());
+    const auto em = numa().run(SystemKind::CoServeEM, traceA1());
+    const auto emra = numa().run(SystemKind::CoServeEMRA, traceA1());
+    const auto full = numa().run(SystemKind::CoServeCasual, traceA1());
+
+    EXPECT_GT(em.throughput, none.throughput);
+    EXPECT_GT(emra.throughput, em.throughput);
+    EXPECT_GT(full.throughput, emra.throughput);
+
+    EXPECT_LT(em.switches.total(), none.switches.total());
+    EXPECT_LT(emra.switches.total(), em.switches.total());
+    EXPECT_LT(full.switches.total(), emra.switches.total());
+}
+
+TEST_F(SystemsTest, UmaShapesHoldToo)
+{
+    const double samba =
+        uma().run(SystemKind::SambaCoE, traceA1()).throughput;
+    const double best =
+        uma().run(SystemKind::CoServeBest, traceA1()).throughput;
+    EXPECT_GT(best / samba, 3.0);
+    EXPECT_LT(best / samba, 14.0);
+}
+
+TEST_F(SystemsTest, RunsAreDeterministic)
+{
+    const auto a = numa().run(SystemKind::CoServeCasual, traceA1());
+    const auto b = numa().run(SystemKind::CoServeCasual, traceA1());
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.switches.total(), b.switches.total());
+    EXPECT_EQ(a.assignments, b.assignments);
+}
+
+TEST_F(SystemsTest, PreScheduledReplayMatches)
+{
+    // Figure 19: replaying the recorded schedule with zero scheduling
+    // overhead changes throughput by < 3%.
+    const auto online = numa().run(SystemKind::CoServeCasual, traceA1());
+    const auto replay = numa().runPreScheduled(SystemKind::CoServeCasual,
+                                               traceA1(), online);
+    EXPECT_EQ(replay.images, online.images);
+    EXPECT_NEAR(replay.throughput, online.throughput,
+                0.03 * online.throughput);
+}
+
+TEST_F(SystemsTest, SchedulingOverheadIsSmall)
+{
+    const auto r = numa().run(SystemKind::CoServeBest, traceA1());
+    ASSERT_GT(r.schedulingWallUs.count(), 0u);
+    // One scheduling decision costs microseconds, inference costs
+    // milliseconds: scheduling never bottlenecks (Section 5.3).
+    EXPECT_LT(r.schedulingWallUs.mean() / 1000.0,
+              r.inferenceLatencyMs.mean());
+}
+
+TEST_F(SystemsTest, ExecutorCountOverride)
+{
+    SystemOverrides ov;
+    ov.gpuExecutors = 1;
+    ov.cpuExecutors = 0;
+    const auto r = numa().run(SystemKind::CoServeCasual, traceA1(), ov);
+    EXPECT_EQ(r.executors.size(), 1u);
+    EXPECT_EQ(r.images, static_cast<std::int64_t>(traceA1().size()));
+}
+
+TEST_F(SystemsTest, ExpertCountOverrideShapesConfig)
+{
+    SystemOverrides ov;
+    ov.gpuExpertCount = 20;
+    EngineConfig cfg =
+        numa().makeConfig(SystemKind::CoServeBest, traceA1(), ov);
+    std::int64_t gpuPool = 0;
+    for (const ExecutorConfig &e : cfg.executors) {
+        if (e.kind == ProcKind::GPU)
+            gpuPool += e.poolBytes;
+    }
+    const std::int64_t avg =
+        numa().context().footprint().expertBytes(ArchId::ResNet101);
+    EXPECT_NEAR(static_cast<double>(gpuPool),
+                static_cast<double>(20 * avg),
+                static_cast<double>(avg));
+}
+
+TEST_F(SystemsTest, ConfigShapes)
+{
+    const EngineConfig samba =
+        numa().makeConfig(SystemKind::SambaCoE, traceA1(), {});
+    EXPECT_TRUE(samba.cpuCacheTier);
+    EXPECT_FALSE(samba.prefetch);
+    EXPECT_EQ(samba.executors.size(), 1u);
+
+    const EngineConfig coserve =
+        numa().makeConfig(SystemKind::CoServeCasual, traceA1(), {});
+    EXPECT_TRUE(coserve.prefetch);
+    EXPECT_TRUE(coserve.preloadByUsage);
+    EXPECT_EQ(coserve.executors.size(), 4u); // 3 GPU + 1 CPU
+    EXPECT_FALSE(coserve.maxBatch.empty());
+
+    const EngineConfig sambaUma =
+        uma().makeConfig(SystemKind::SambaCoE, traceA1(), {});
+    EXPECT_FALSE(sambaUma.cpuCacheTier); // no tiered cache on UMA
+}
+
+TEST_F(SystemsTest, DefaultExecutorCounts)
+{
+    EXPECT_EQ(numa().defaultGpuExecutors(), 3);
+    EXPECT_EQ(uma().defaultGpuExecutors(), 2);
+}
+
+TEST_F(SystemsTest, PrefetchOverrideDisables)
+{
+    SystemOverrides ov;
+    ov.prefetch = 0;
+    const auto r = numa().run(SystemKind::CoServeCasual, traceA1(), ov);
+    EXPECT_EQ(r.switches.prefetchLoads, 0);
+}
+
+TEST_F(SystemsTest, OfflineContextIsComplete)
+{
+    const CoServeContext &ctx = numa().context();
+    EXPECT_EQ(ctx.usage().size(), model().numExperts());
+    EXPECT_TRUE(ctx.perf().has(ArchId::ResNet101, ProcKind::GPU));
+    EXPECT_TRUE(ctx.perf().has(ArchId::YoloV5m, ProcKind::CPU));
+    EXPECT_TRUE(ctx.perf().has(ArchId::YoloV5l, ProcKind::GPU));
+}
+
+TEST_F(SystemsTest, MemoryPlanProducesValidLayout)
+{
+    const Trace sample = traceA1().prefix(300);
+    const MemoryPlan plan = planMemory(numa().context(), 3, 1, sample);
+    EXPECT_GE(plan.gpuExpertCount, 6);
+    EXPECT_FALSE(plan.executors.empty());
+    EXPECT_FALSE(plan.search.probes.empty());
+    // Probes at decaying window bounds are strictly increasing counts.
+    for (std::size_t i = 1; i < plan.search.probes.size(); ++i) {
+        EXPECT_GT(plan.search.probes[i].expertCount,
+                  plan.search.probes[i - 1].expertCount);
+    }
+}
+
+} // namespace
+} // namespace coserve

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit tests for workload traces and the task generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include "coe/board_builder.h"
+#include "workload/generator.h"
+
+namespace coserve {
+namespace {
+
+TEST(TaskSpecTest, PaperTasks)
+{
+    EXPECT_EQ(taskA1().numImages, 2500u);
+    EXPECT_EQ(taskA2().numImages, 3500u);
+    EXPECT_EQ(taskB1().numImages, 2500u);
+    EXPECT_EQ(taskB2().numImages, 3500u);
+    // "a component image is input every 4 ms" (Section 5.1).
+    EXPECT_EQ(taskA1().interarrival, milliseconds(4));
+}
+
+TEST(TraceTest, ArrivalsEvery4ms)
+{
+    const CoEModel m = buildBoard(tinyBoard());
+    TaskSpec task = taskA1();
+    task.numImages = 10;
+    const Trace t = generateTrace(m, task);
+    ASSERT_EQ(t.size(), 10u);
+    for (std::size_t i = 0; i < t.size(); ++i)
+        EXPECT_EQ(t.arrivals[i].time,
+                  milliseconds(4) * static_cast<Time>(i));
+}
+
+TEST(TraceTest, ComponentsInRange)
+{
+    const CoEModel m = buildBoard(tinyBoard());
+    const Trace t = generateTrace(m, taskA1());
+    for (const ImageArrival &a : t.arrivals) {
+        EXPECT_GE(a.component, 0);
+        EXPECT_LT(a.component,
+                  static_cast<ComponentId>(m.numComponents()));
+    }
+}
+
+TEST(TraceTest, DeterministicForSeed)
+{
+    const CoEModel m = buildBoard(boardA());
+    const Trace t1 = generateTrace(m, taskA1());
+    const Trace t2 = generateTrace(m, taskA1());
+    ASSERT_EQ(t1.size(), t2.size());
+    for (std::size_t i = 0; i < t1.size(); ++i) {
+        EXPECT_EQ(t1.arrivals[i].component, t2.arrivals[i].component);
+        EXPECT_EQ(t1.arrivals[i].defective, t2.arrivals[i].defective);
+    }
+}
+
+TEST(TraceTest, DifferentSeedsDiffer)
+{
+    const CoEModel m = buildBoard(boardA());
+    const Trace t1 = generateTrace(m, taskA1());
+    const Trace t2 = generateTrace(m, taskA2());
+    std::size_t same = 0;
+    const std::size_t n = std::min(t1.size(), t2.size());
+    for (std::size_t i = 0; i < n; ++i)
+        same += t1.arrivals[i].component == t2.arrivals[i].component;
+    EXPECT_LT(same, n / 2);
+}
+
+TEST(TraceTest, ComponentFrequencyTracksImageProb)
+{
+    const CoEModel m = buildBoard(boardA());
+    TaskSpec task = taskA1();
+    task.numImages = 50000;
+    const Trace t = generateTrace(m, task);
+    std::vector<int> counts(m.numComponents(), 0);
+    for (const ImageArrival &a : t.arrivals)
+        counts[static_cast<std::size_t>(a.component)] += 1;
+    // The most probable component should appear close to its prob.
+    const ComponentType &c0 = m.component(0);
+    EXPECT_NEAR(static_cast<double>(counts[0]) / 50000.0, c0.imageProb,
+                0.02);
+}
+
+TEST(TraceTest, DefectRateTracksDefectProb)
+{
+    const CoEModel m = buildBoard(boardA());
+    TaskSpec task = taskA1();
+    task.numImages = 50000;
+    const Trace t = generateTrace(m, task);
+    int defects = 0;
+    for (const ImageArrival &a : t.arrivals)
+        defects += a.defective ? 1 : 0;
+    // Mean defect probability is ~3% (BoardSpec::defectProb).
+    EXPECT_NEAR(static_cast<double>(defects) / 50000.0, 0.03, 0.01);
+}
+
+TEST(TraceTest, PrefixTruncates)
+{
+    const CoEModel m = buildBoard(tinyBoard());
+    const Trace t = generateTrace(m, taskA1());
+    const Trace p = t.prefix(100);
+    EXPECT_EQ(p.size(), 100u);
+    EXPECT_EQ(p.arrivals[99].component, t.arrivals[99].component);
+    EXPECT_EQ(t.prefix(1u << 20).size(), t.size()); // clamped
+}
+
+} // namespace
+} // namespace coserve
