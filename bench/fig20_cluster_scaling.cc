@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Figure 20 (extension) — cluster scaling: aggregate throughput of
+ * 1/2/4/8 CoServe replicas behind each routing policy.
+ *
+ * The paper's production line feeds one image every 4 ms (250 img/s),
+ * an order of magnitude above a single engine's ~26 img/s (Figure 13),
+ * so a lone replica is heavily saturated. This sweep shows the first
+ * scale-out axis: replica fan-out with a cluster front-end. Aggregate
+ * throughput should grow monotonically with the replica count for the
+ * least-loaded policy; expert-affinity trades some balance for fewer
+ * cluster-wide expert switches.
+ */
+
+#include "bench/bench_util.h"
+
+#include "cluster/cluster.h"
+#include "metrics/cluster_result.h"
+
+using namespace coserve;
+
+namespace {
+
+void
+sweep(const DeviceSpec &dev, const CoEModel &model)
+{
+    std::printf("\n================ %s / %s ================\n",
+                dev.name.c_str(), model.name().c_str());
+
+    Harness &h = bench::harnessFor(dev, model);
+    TaskSpec task = taskA1();
+    task.numImages = 2000;
+    const Trace trace = generateTrace(model, task);
+    const EngineConfig cfg =
+        h.makeConfig(SystemKind::CoServeCasual, trace, {});
+
+    Table t({"Replicas", "Policy", "Throughput (img/s)", "Speedup",
+             "Switches", "Imbalance"});
+    double base = 0.0;
+    bool monotonic = true;
+    double prevLeastLoaded = 0.0;
+    for (int replicas : {1, 2, 4, 8}) {
+        for (RoutingPolicy policy :
+             {RoutingPolicy::RoundRobin, RoutingPolicy::LeastLoaded,
+              RoutingPolicy::ExpertAffinity}) {
+            ClusterEngine cluster(homogeneousCluster(
+                h.context(), cfg, replicas, policy,
+                "fig20"));
+            const ClusterResult r = cluster.run(trace);
+            if (replicas == 1 &&
+                policy == RoutingPolicy::RoundRobin)
+                base = r.throughput;
+            if (policy == RoutingPolicy::LeastLoaded) {
+                if (replicas > 1 && r.throughput < prevLeastLoaded)
+                    monotonic = false;
+                prevLeastLoaded = r.throughput;
+            }
+            t.addRow({std::to_string(replicas), toString(policy),
+                      formatDouble(r.throughput, 1),
+                      formatDouble(r.throughput / base, 2) + "x",
+                      std::to_string(r.switches.total()),
+                      formatDouble(r.imbalance(), 2)});
+        }
+    }
+    t.print();
+    std::printf("least-loaded scaling 1 -> 8 replicas: %s\n",
+                monotonic ? "monotonic" : "NOT monotonic");
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 20 (extension)",
+                  "Cluster scaling: replicas x routing policy");
+    sweep(bench::numaDevice(), bench::modelA());
+    return 0;
+}

@@ -1,0 +1,101 @@
+#include "cluster/cluster.h"
+
+#include <chrono>
+#include <thread>
+
+#include "util/logging.h"
+
+namespace coserve {
+
+ClusterEngine::ClusterEngine(ClusterConfig cfg) : cfg_(std::move(cfg))
+{
+    COSERVE_CHECK(!cfg_.replicas.empty(), "cluster needs replicas");
+    for (std::size_t i = 0; i < cfg_.replicas.size(); ++i) {
+        const ReplicaSpec &r = cfg_.replicas[i];
+        COSERVE_CHECK(r.ctx != nullptr, "replica ", i,
+                      " missing offline context");
+        COSERVE_CHECK(!r.cfg.executors.empty(), "replica ", i,
+                      " has no executors");
+        // Routing and sharding assume one CoE model cluster-wide.
+        COSERVE_CHECK(&r.ctx->model() ==
+                          &cfg_.replicas.front().ctx->model(),
+                      "replica ", i,
+                      " serves a different CoE model than replica 0");
+    }
+}
+
+std::vector<std::size_t>
+ClusterEngine::routeTrace(const Trace &trace) const
+{
+    std::vector<ReplicaView> views;
+    views.reserve(cfg_.replicas.size());
+    for (const ReplicaSpec &r : cfg_.replicas)
+        views.push_back({r.ctx, &r.cfg});
+    // All replicas serve the same CoE model; route by the first's.
+    auto router = makeRouter(cfg_.routing,
+                             cfg_.replicas.front().ctx->model(),
+                             std::move(views));
+
+    std::vector<std::size_t> assignment;
+    assignment.reserve(trace.arrivals.size());
+    for (const ImageArrival &a : trace.arrivals)
+        assignment.push_back(router->route(a));
+    return assignment;
+}
+
+ClusterResult
+ClusterEngine::run(const Trace &trace)
+{
+    COSERVE_CHECK(!ran_, "ClusterEngine instances are single-use");
+    ran_ = true;
+
+    const std::vector<std::size_t> assignment = routeTrace(trace);
+    const std::vector<Trace> shards =
+        shardTrace(trace, assignment, cfg_.replicas.size());
+
+    const auto runReplica = [this, &shards](std::size_t i,
+                                            RunResult &out) {
+        const ReplicaSpec &spec = cfg_.replicas[i];
+        EngineConfig cfg = spec.cfg;
+        cfg.label = cfg_.label + "/replica" + std::to_string(i);
+        auto engine = makeCoServeEngine(*spec.ctx, std::move(cfg));
+        out = engine->run(shards[i]);
+    };
+
+    std::vector<RunResult> results(cfg_.replicas.size());
+    const auto wallStart = std::chrono::steady_clock::now();
+    if (cfg_.parallel) {
+        std::vector<std::thread> threads;
+        threads.reserve(cfg_.replicas.size());
+        for (std::size_t i = 0; i < cfg_.replicas.size(); ++i)
+            threads.emplace_back(runReplica, i, std::ref(results[i]));
+        for (std::thread &t : threads)
+            t.join();
+    } else {
+        for (std::size_t i = 0; i < cfg_.replicas.size(); ++i)
+            runReplica(i, results[i]);
+    }
+    const auto wallEnd = std::chrono::steady_clock::now();
+
+    ClusterResult out = aggregateClusterResult(
+        cfg_.label, toString(cfg_.routing), std::move(results));
+    out.wallSeconds =
+        std::chrono::duration<double>(wallEnd - wallStart).count();
+    return out;
+}
+
+ClusterConfig
+homogeneousCluster(const CoServeContext &ctx, const EngineConfig &cfg,
+                   int numReplicas, RoutingPolicy routing,
+                   std::string label)
+{
+    COSERVE_CHECK(numReplicas >= 1, "need at least one replica");
+    ClusterConfig cluster;
+    cluster.label = std::move(label);
+    cluster.routing = routing;
+    for (int i = 0; i < numReplicas; ++i)
+        cluster.replicas.push_back({&ctx, cfg});
+    return cluster;
+}
+
+} // namespace coserve

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Cluster serving layer: N serving-engine replicas behind a router.
+ *
+ * A ClusterEngine owns N replica descriptions — each with its own
+ * DeviceSpec, offline CoServeContext, dependency-aware scheduler and
+ * two-stage eviction policy, assembled through makeCoServeEngine — and
+ * a cluster-level dispatcher (cluster/router.h). run() routes every
+ * arrival to one replica, shards the trace, executes the replicas
+ * concurrently on std::thread (each replica keeps its own
+ * discrete-event queue; all shards stay on one shared virtual clock)
+ * and merges the per-replica RunResults into a ClusterResult.
+ *
+ * This is the first scale-out axis on top of the paper's single-engine
+ * system: the paper's techniques (§4.2–§4.4) act within a replica; the
+ * router decides *which* replica, exactly like a production front-end
+ * in front of homogeneous model servers.
+ */
+
+#ifndef COSERVE_CLUSTER_CLUSTER_H
+#define COSERVE_CLUSTER_CLUSTER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/router.h"
+#include "core/coserve.h"
+#include "metrics/cluster_result.h"
+#include "workload/trace.h"
+
+namespace coserve {
+
+/** One replica of the cluster. */
+struct ReplicaSpec
+{
+    /**
+     * Offline products for the replica's device (not owned; must
+     * outlive the cluster). Replicas on identical devices may share
+     * one context.
+     */
+    const CoServeContext *ctx = nullptr;
+    /** Resolved engine configuration for this replica. */
+    EngineConfig cfg;
+};
+
+/** Fully-resolved cluster description. */
+struct ClusterConfig
+{
+    std::string label = "cluster";
+    RoutingPolicy routing = RoutingPolicy::LeastLoaded;
+    /**
+     * Run replicas on one std::thread each (true) or sequentially on
+     * the caller's thread (false). Results are identical either way —
+     * replicas share no mutable state — so this only trades wall-clock
+     * speed against debuggability.
+     */
+    bool parallel = true;
+    std::vector<ReplicaSpec> replicas;
+};
+
+/** Single-use cluster instance. */
+class ClusterEngine
+{
+  public:
+    /** @param cfg resolved cluster configuration (>= 1 replica). */
+    explicit ClusterEngine(ClusterConfig cfg);
+
+    ClusterEngine(const ClusterEngine &) = delete;
+    ClusterEngine &operator=(const ClusterEngine &) = delete;
+
+    /** @return number of replicas. */
+    std::size_t numReplicas() const { return cfg_.replicas.size(); }
+
+    /** @return the cluster configuration. */
+    const ClusterConfig &config() const { return cfg_; }
+
+    /**
+     * Route @p trace without running it: one replica index per
+     * arrival, in arrival order. Deterministic — a fresh router is
+     * built per call. Exposed for tests and dispatch inspection.
+     */
+    std::vector<std::size_t> routeTrace(const Trace &trace) const;
+
+    /** Serve @p trace to completion; callable once per cluster. */
+    ClusterResult run(const Trace &trace);
+
+  private:
+    ClusterConfig cfg_;
+    bool ran_ = false;
+};
+
+/**
+ * Convenience: a homogeneous cluster of @p numReplicas replicas, all
+ * sharing @p ctx (one device model) and running copies of @p cfg.
+ */
+ClusterConfig homogeneousCluster(const CoServeContext &ctx,
+                                 const EngineConfig &cfg,
+                                 int numReplicas, RoutingPolicy routing,
+                                 std::string label = "cluster");
+
+} // namespace coserve
+
+#endif // COSERVE_CLUSTER_CLUSTER_H

@@ -1,0 +1,225 @@
+#include "cluster/router.h"
+
+#include <algorithm>
+
+#include "core/scheduler.h"
+#include "util/logging.h"
+
+namespace coserve {
+
+const char *
+toString(RoutingPolicy policy)
+{
+    switch (policy) {
+    case RoutingPolicy::RoundRobin:
+        return "round-robin";
+    case RoutingPolicy::LeastLoaded:
+        return "least-loaded";
+    case RoutingPolicy::ExpertAffinity:
+        return "expert-affinity";
+    }
+    return "?";
+}
+
+namespace {
+
+/** splitmix64 finalizer: spreads dense expert ids across replicas. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+class RoundRobinRouter : public ReplicaRouter
+{
+  public:
+    explicit RoundRobinRouter(std::size_t n) : n_(n) {}
+
+    const char *name() const override { return "round-robin"; }
+
+    std::size_t
+    route(const ImageArrival &) override
+    {
+        return next_++ % n_;
+    }
+
+  private:
+    std::size_t n_;
+    std::size_t next_ = 0;
+};
+
+class ExpertAffinityRouter : public ReplicaRouter
+{
+  public:
+    ExpertAffinityRouter(const CoEModel &model, std::size_t n)
+        : model_(model), n_(n)
+    {}
+
+    const char *name() const override { return "expert-affinity"; }
+
+    std::size_t
+    route(const ImageArrival &arrival) override
+    {
+        const ExpertId e =
+            model_.component(arrival.component).classifier;
+        return static_cast<std::size_t>(
+            mix64(static_cast<std::uint64_t>(e)) % n_);
+    }
+
+  private:
+    const CoEModel &model_;
+    std::size_t n_;
+};
+
+/**
+ * Least-loaded by predicted makespan. Per replica we track (a) the
+ * predicted completion time of the work routed so far and (b) an LRU
+ * approximation of which experts are resident, sized from the
+ * replica's pool bytes. Each candidate's cost is the dependency-aware
+ * scheduler's execution estimate (K / K + B) plus the profiled load
+ * latency when the expert is predicted non-resident, divided by the
+ * replica's executor parallelism.
+ */
+class LeastLoadedRouter : public ReplicaRouter
+{
+  public:
+    LeastLoadedRouter(const CoEModel &model,
+                      std::vector<ReplicaView> replicas)
+        : model_(model), replicas_(std::move(replicas))
+    {
+        for (const ReplicaView &view : replicas_) {
+            // Footprints are per-device: size each replica's residency
+            // estimate from its own context.
+            std::int64_t totalBytes = 0;
+            for (const Expert &e : model_.experts())
+                totalBytes += view.ctx->footprint().expertBytes(e.arch);
+            const std::int64_t avgBytes =
+                totalBytes /
+                static_cast<std::int64_t>(model_.numExperts());
+
+            State st;
+            std::int64_t poolBytes = 0;
+            for (const ExecutorConfig &e : view.cfg->executors) {
+                poolBytes += e.poolBytes;
+                if (e.kind == ProcKind::GPU)
+                    st.hasGpu = true;
+            }
+            st.parallelism =
+                std::max<std::size_t>(1, view.cfg->executors.size());
+            st.capacity = std::max<std::size_t>(
+                1, static_cast<std::size_t>(poolBytes /
+                                            std::max<std::int64_t>(
+                                                1, avgBytes)));
+            states_.push_back(std::move(st));
+        }
+    }
+
+    const char *name() const override { return "least-loaded"; }
+
+    std::size_t
+    route(const ImageArrival &arrival) override
+    {
+        const ExpertId expert =
+            model_.component(arrival.component).classifier;
+        const ArchId arch = model_.expert(expert).arch;
+
+        std::size_t best = 0;
+        Time bestFinish = kTimeNever;
+        Time bestAdd = kTimeNever;
+        for (std::size_t i = 0; i < replicas_.size(); ++i) {
+            const Time add = additionalLatency(i, expert, arch);
+            const Time finish =
+                std::max(arrival.time, states_[i].finish) + add;
+            if (finish < bestFinish ||
+                (finish == bestFinish && add < bestAdd)) {
+                best = i;
+                bestFinish = finish;
+                bestAdd = add;
+            }
+        }
+
+        states_[best].finish = bestFinish;
+        touch(states_[best], expert);
+        return best;
+    }
+
+  private:
+    struct State
+    {
+        /** Predicted completion of all work routed to this replica. */
+        Time finish = 0;
+        /** MRU-ordered experts predicted resident (front = newest). */
+        std::vector<ExpertId> resident;
+        std::size_t capacity = 1;
+        std::size_t parallelism = 1;
+        bool hasGpu = false;
+    };
+
+    Time
+    additionalLatency(std::size_t i, ExpertId expert, ArchId arch) const
+    {
+        const ReplicaView &view = replicas_[i];
+        const State &st = states_[i];
+        const ProcKind proc =
+            st.hasGpu ? ProcKind::GPU : ProcKind::CPU;
+
+        const bool resident =
+            std::find(st.resident.begin(), st.resident.end(), expert) !=
+            st.resident.end();
+        // A resident expert's group is likely still queued: K only.
+        const Time execPart = DependencyAwareScheduler::execEstimate(
+            &view.ctx->perf(), &view.ctx->truth(), arch, proc, resident);
+        Time switchPart = 0;
+        if (!resident && view.ctx->perf().has(arch, proc))
+            switchPart = view.ctx->perf().at(arch, proc).loadLatency;
+
+        // Executor queues inside the replica drain in parallel.
+        return (execPart + switchPart) /
+               static_cast<Time>(st.parallelism);
+    }
+
+    void
+    touch(State &st, ExpertId expert)
+    {
+        auto it = std::find(st.resident.begin(), st.resident.end(),
+                            expert);
+        if (it != st.resident.end())
+            st.resident.erase(it);
+        st.resident.insert(st.resident.begin(), expert);
+        if (st.resident.size() > st.capacity)
+            st.resident.resize(st.capacity);
+    }
+
+    const CoEModel &model_;
+    std::vector<ReplicaView> replicas_;
+    std::vector<State> states_;
+};
+
+} // namespace
+
+std::unique_ptr<ReplicaRouter>
+makeRouter(RoutingPolicy policy, const CoEModel &model,
+           std::vector<ReplicaView> replicas)
+{
+    COSERVE_CHECK(!replicas.empty(), "router needs replicas");
+    for (const ReplicaView &v : replicas)
+        COSERVE_CHECK(v.ctx != nullptr && v.cfg != nullptr,
+                      "replica view missing context or config");
+
+    switch (policy) {
+    case RoutingPolicy::RoundRobin:
+        return std::make_unique<RoundRobinRouter>(replicas.size());
+    case RoutingPolicy::LeastLoaded:
+        return std::make_unique<LeastLoadedRouter>(model,
+                                                   std::move(replicas));
+    case RoutingPolicy::ExpertAffinity:
+        return std::make_unique<ExpertAffinityRouter>(model,
+                                                      replicas.size());
+    }
+    panic("unknown routing policy");
+}
+
+} // namespace coserve

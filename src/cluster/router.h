@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Cluster-level request routing.
+ *
+ * A ReplicaRouter decides, for every incoming image, which serving
+ * replica handles it — *before* the replica's own dependency-aware
+ * scheduler picks an executor queue. Three policies:
+ *
+ *  - RoundRobin       arrival i -> replica i mod N; the baseline
+ *                     front-end of Samba-style deployments.
+ *  - LeastLoaded      predicted-makespan balancing: the same K/B +
+ *                     switch-latency estimate the dependency-aware
+ *                     scheduler uses per executor (Section 4.2),
+ *                     lifted to replica granularity with a residency
+ *                     approximation per replica.
+ *  - ExpertAffinity   requests hash by their classification expert, so
+ *                     all images of one component type land on the
+ *                     replica that already holds that expert resident
+ *                     (minimizes cluster-wide expert switches).
+ */
+
+#ifndef COSERVE_CLUSTER_ROUTER_H
+#define COSERVE_CLUSTER_ROUTER_H
+
+#include <memory>
+#include <vector>
+
+#include "core/coserve.h"
+#include "workload/trace.h"
+
+namespace coserve {
+
+/** Cluster dispatch policies. */
+enum class RoutingPolicy
+{
+    RoundRobin,
+    LeastLoaded,
+    ExpertAffinity,
+};
+
+/** Display name matching bench legends. */
+const char *toString(RoutingPolicy policy);
+
+/** What a router may inspect about one replica. */
+struct ReplicaView
+{
+    /** Offline products of the replica's device (not owned). */
+    const CoServeContext *ctx = nullptr;
+    /** The replica's resolved engine configuration (not owned). */
+    const EngineConfig *cfg = nullptr;
+};
+
+/** Routes each incoming image to exactly one replica. */
+class ReplicaRouter
+{
+  public:
+    virtual ~ReplicaRouter() = default;
+
+    /** @return display name for reports. */
+    virtual const char *name() const = 0;
+
+    /** @return replica index in [0, numReplicas) for @p arrival. */
+    virtual std::size_t route(const ImageArrival &arrival) = 0;
+};
+
+/**
+ * Build a router over @p replicas for @p model. Views are copied; the
+ * contexts/configs they point to must outlive the router.
+ */
+std::unique_ptr<ReplicaRouter>
+makeRouter(RoutingPolicy policy, const CoEModel &model,
+           std::vector<ReplicaView> replicas);
+
+} // namespace coserve
+
+#endif // COSERVE_CLUSTER_ROUTER_H

@@ -8,6 +8,29 @@
 namespace coserve {
 
 Time
+DependencyAwareScheduler::execEstimate(const PerfMatrix *perf,
+                                       const LatencyModel *truth,
+                                       ArchId arch, ProcKind proc,
+                                       bool joinsGroup)
+{
+    // Joining an existing same-expert group costs K; opening a new
+    // group pays the batch overhead B as well.
+    Time k = 0, b = 0;
+    if (perf && perf->has(arch, proc)) {
+        const PerfEntry &entry = perf->at(arch, proc);
+        k = entry.k;
+        b = entry.b;
+    } else {
+        COSERVE_CHECK(truth != nullptr,
+                      "need a perf matrix or a latency model");
+        const LatencyParams &p = truth->params(arch, proc);
+        k = p.perImage;
+        b = p.fixed;
+    }
+    return joinsGroup ? k : k + b;
+}
+
+Time
 DependencyAwareScheduler::additionalLatency(const ServingEngine &engine,
                                             std::size_t i,
                                             const Request &req) const
@@ -15,21 +38,10 @@ DependencyAwareScheduler::additionalLatency(const ServingEngine &engine,
     const Executor &exec = engine.executorAt(i);
     const ArchId arch = engine.model().expert(req.expert).arch;
 
-    Time k, b;
-    if (perf_ && perf_->has(arch, exec.kind())) {
-        const PerfEntry &entry = perf_->at(arch, exec.kind());
-        k = entry.k;
-        b = entry.b;
-    } else {
-        const LatencyParams &p = engine.truth().params(arch, exec.kind());
-        k = p.perImage;
-        b = p.fixed;
-    }
-
-    // Execution part: joining an existing same-expert group costs K;
-    // opening a new group pays the batch overhead B as well.
+    // Execution part (K / K + B, Section 4.2).
     const bool joinsGroup = exec.queue().containsExpert(req.expert);
-    const Time execPart = joinsGroup ? k : k + b;
+    const Time execPart = execEstimate(perf_, &engine.truth(), arch,
+                                       exec.kind(), joinsGroup);
 
     // Switch part: zero when resident or already demanded (Section 4.2).
     const Time switchPart = engine.predictLoadTime(i, req.expert);

@@ -20,6 +20,7 @@
 #define COSERVE_CORE_SCHEDULER_H
 
 #include "core/perf_matrix.h"
+#include "model/latency_model.h"
 #include "runtime/policies.h"
 
 namespace coserve {
@@ -48,6 +49,18 @@ class DependencyAwareScheduler : public Scheduler
      */
     Time additionalLatency(const ServingEngine &engine, std::size_t i,
                            const Request &req) const;
+
+    /**
+     * Execution part of the estimate: K when the request joins an
+     * existing same-expert group, K + B when it opens a new one.
+     * Prefers the profiled @p perf entry, falling back to @p truth
+     * (either may be nullptr). Usable without a live engine — the
+     * cluster dispatcher reuses it for replica-level makespan
+     * prediction.
+     */
+    static Time execEstimate(const PerfMatrix *perf,
+                             const LatencyModel *truth, ArchId arch,
+                             ProcKind proc, bool joinsGroup);
 
   private:
     const PerfMatrix *perf_;

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Aggregate result of a cluster run.
+ *
+ * A ClusterResult merges the per-replica RunResults of one
+ * ClusterEngine::run into cluster-wide metrics: total images served,
+ * the cluster makespan (all replicas share one virtual clock, so it is
+ * the latest replica completion), aggregate throughput, merged switch
+ * counters and the combined latency distribution. Per-replica results
+ * are kept for load-balance inspection.
+ */
+
+#ifndef COSERVE_METRICS_CLUSTER_RESULT_H
+#define COSERVE_METRICS_CLUSTER_RESULT_H
+
+#include <string>
+#include <vector>
+
+#include "metrics/run_result.h"
+
+namespace coserve {
+
+/** Whole-cluster summary of one run. */
+struct ClusterResult
+{
+    std::string label;
+    /** Routing policy display name. */
+    std::string routing;
+
+    /** Total images completed across replicas. */
+    std::int64_t images = 0;
+    /** Total inference executions across replicas. */
+    std::int64_t inferences = 0;
+    /** Latest replica completion on the shared virtual clock. */
+    Time makespan = 0;
+    /** Aggregate images per second (images / makespan). */
+    double throughput = 0.0;
+
+    /** Switch counters merged over all replicas. */
+    SwitchCounters switches;
+
+    /** End-to-end request latency (ms), merged over replicas. */
+    Samples requestLatencyMs;
+
+    /** Per-replica results, indexed by replica id. */
+    std::vector<RunResult> replicas;
+
+    /** Images routed to each replica (load-balance inspection). */
+    std::vector<std::int64_t> imagesPerReplica;
+
+    /**
+     * Host wall-clock seconds spent executing the replicas (threaded
+     * or sequential per ClusterConfig::parallel), for speedup
+     * reporting.
+     */
+    double wallSeconds = 0.0;
+
+    /**
+     * Load-imbalance factor: max over replicas of images routed,
+     * divided by the balanced share (images / replicas). 1.0 is a
+     * perfect split; only counts non-empty clusters.
+     */
+    double imbalance() const;
+};
+
+/**
+ * Merge @p replicas into cluster-wide metrics. Replica makespans are
+ * absolute times on the shared cluster clock (shards preserve arrival
+ * times), so the cluster makespan is their maximum.
+ */
+ClusterResult aggregateClusterResult(std::string label,
+                                     std::string routing,
+                                     std::vector<RunResult> replicas);
+
+} // namespace coserve
+
+#endif // COSERVE_METRICS_CLUSTER_RESULT_H

@@ -396,7 +396,6 @@ ServingEngine::run(const Trace &trace)
 {
     COSERVE_CHECK(!ran_, "ServingEngine instances are single-use");
     ran_ = true;
-    COSERVE_CHECK(!trace.arrivals.empty(), "empty trace");
 
     result_.label = cfg_.label;
     scheduler_->reset();

@@ -54,7 +54,11 @@ class ServingEngine
     ServingEngine(const ServingEngine &) = delete;
     ServingEngine &operator=(const ServingEngine &) = delete;
 
-    /** Serve @p trace to completion; callable once per engine. */
+    /**
+     * Serve @p trace to completion; callable once per engine. An empty
+     * trace is legal (a cluster replica may be routed zero requests)
+     * and yields an empty result.
+     */
     RunResult run(const Trace &trace);
 
     // ----- API for Scheduler implementations -------------------------

@@ -28,7 +28,11 @@ struct EventId
     Time when = 0;
     std::uint64_t seq = 0;
 
-    bool operator==(const EventId &o) const = default;
+    bool
+    operator==(const EventId &o) const
+    {
+        return when == o.when && seq == o.seq;
+    }
 };
 
 /**
