@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuit_board_inspection.dir/examples/circuit_board_inspection.cpp.o"
+  "CMakeFiles/circuit_board_inspection.dir/examples/circuit_board_inspection.cpp.o.d"
+  "circuit_board_inspection"
+  "circuit_board_inspection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuit_board_inspection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

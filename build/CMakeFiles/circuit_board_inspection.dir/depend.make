@@ -1,0 +1,2 @@
+# Empty dependencies file for circuit_board_inspection.
+# This may be replaced when dependencies are built.

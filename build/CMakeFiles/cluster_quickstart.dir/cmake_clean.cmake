@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_quickstart.dir/examples/cluster_quickstart.cpp.o"
+  "CMakeFiles/cluster_quickstart.dir/examples/cluster_quickstart.cpp.o.d"
+  "cluster_quickstart"
+  "cluster_quickstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_quickstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

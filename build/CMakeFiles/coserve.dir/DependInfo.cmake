@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/evictions.cc" "CMakeFiles/coserve.dir/src/baselines/evictions.cc.o" "gcc" "CMakeFiles/coserve.dir/src/baselines/evictions.cc.o.d"
+  "/root/repo/src/baselines/schedulers.cc" "CMakeFiles/coserve.dir/src/baselines/schedulers.cc.o" "gcc" "CMakeFiles/coserve.dir/src/baselines/schedulers.cc.o.d"
+  "/root/repo/src/baselines/systems.cc" "CMakeFiles/coserve.dir/src/baselines/systems.cc.o" "gcc" "CMakeFiles/coserve.dir/src/baselines/systems.cc.o.d"
+  "/root/repo/src/cluster/cluster.cc" "CMakeFiles/coserve.dir/src/cluster/cluster.cc.o" "gcc" "CMakeFiles/coserve.dir/src/cluster/cluster.cc.o.d"
+  "/root/repo/src/cluster/router.cc" "CMakeFiles/coserve.dir/src/cluster/router.cc.o" "gcc" "CMakeFiles/coserve.dir/src/cluster/router.cc.o.d"
+  "/root/repo/src/coe/board_builder.cc" "CMakeFiles/coserve.dir/src/coe/board_builder.cc.o" "gcc" "CMakeFiles/coserve.dir/src/coe/board_builder.cc.o.d"
+  "/root/repo/src/coe/coe_model.cc" "CMakeFiles/coserve.dir/src/coe/coe_model.cc.o" "gcc" "CMakeFiles/coserve.dir/src/coe/coe_model.cc.o.d"
+  "/root/repo/src/coe/dependency.cc" "CMakeFiles/coserve.dir/src/coe/dependency.cc.o" "gcc" "CMakeFiles/coserve.dir/src/coe/dependency.cc.o.d"
+  "/root/repo/src/coe/usage.cc" "CMakeFiles/coserve.dir/src/coe/usage.cc.o" "gcc" "CMakeFiles/coserve.dir/src/coe/usage.cc.o.d"
+  "/root/repo/src/core/coserve.cc" "CMakeFiles/coserve.dir/src/core/coserve.cc.o" "gcc" "CMakeFiles/coserve.dir/src/core/coserve.cc.o.d"
+  "/root/repo/src/core/memory_planner.cc" "CMakeFiles/coserve.dir/src/core/memory_planner.cc.o" "gcc" "CMakeFiles/coserve.dir/src/core/memory_planner.cc.o.d"
+  "/root/repo/src/core/perf_matrix.cc" "CMakeFiles/coserve.dir/src/core/perf_matrix.cc.o" "gcc" "CMakeFiles/coserve.dir/src/core/perf_matrix.cc.o.d"
+  "/root/repo/src/core/profiler.cc" "CMakeFiles/coserve.dir/src/core/profiler.cc.o" "gcc" "CMakeFiles/coserve.dir/src/core/profiler.cc.o.d"
+  "/root/repo/src/core/scheduler.cc" "CMakeFiles/coserve.dir/src/core/scheduler.cc.o" "gcc" "CMakeFiles/coserve.dir/src/core/scheduler.cc.o.d"
+  "/root/repo/src/core/two_stage_eviction.cc" "CMakeFiles/coserve.dir/src/core/two_stage_eviction.cc.o" "gcc" "CMakeFiles/coserve.dir/src/core/two_stage_eviction.cc.o.d"
+  "/root/repo/src/hw/device.cc" "CMakeFiles/coserve.dir/src/hw/device.cc.o" "gcc" "CMakeFiles/coserve.dir/src/hw/device.cc.o.d"
+  "/root/repo/src/hw/transfer.cc" "CMakeFiles/coserve.dir/src/hw/transfer.cc.o" "gcc" "CMakeFiles/coserve.dir/src/hw/transfer.cc.o.d"
+  "/root/repo/src/metrics/cluster_result.cc" "CMakeFiles/coserve.dir/src/metrics/cluster_result.cc.o" "gcc" "CMakeFiles/coserve.dir/src/metrics/cluster_result.cc.o.d"
+  "/root/repo/src/metrics/report.cc" "CMakeFiles/coserve.dir/src/metrics/report.cc.o" "gcc" "CMakeFiles/coserve.dir/src/metrics/report.cc.o.d"
+  "/root/repo/src/metrics/run_result.cc" "CMakeFiles/coserve.dir/src/metrics/run_result.cc.o" "gcc" "CMakeFiles/coserve.dir/src/metrics/run_result.cc.o.d"
+  "/root/repo/src/model/architecture.cc" "CMakeFiles/coserve.dir/src/model/architecture.cc.o" "gcc" "CMakeFiles/coserve.dir/src/model/architecture.cc.o.d"
+  "/root/repo/src/model/footprint_model.cc" "CMakeFiles/coserve.dir/src/model/footprint_model.cc.o" "gcc" "CMakeFiles/coserve.dir/src/model/footprint_model.cc.o.d"
+  "/root/repo/src/model/latency_model.cc" "CMakeFiles/coserve.dir/src/model/latency_model.cc.o" "gcc" "CMakeFiles/coserve.dir/src/model/latency_model.cc.o.d"
+  "/root/repo/src/runtime/config.cc" "CMakeFiles/coserve.dir/src/runtime/config.cc.o" "gcc" "CMakeFiles/coserve.dir/src/runtime/config.cc.o.d"
+  "/root/repo/src/runtime/cpu_cache.cc" "CMakeFiles/coserve.dir/src/runtime/cpu_cache.cc.o" "gcc" "CMakeFiles/coserve.dir/src/runtime/cpu_cache.cc.o.d"
+  "/root/repo/src/runtime/engine.cc" "CMakeFiles/coserve.dir/src/runtime/engine.cc.o" "gcc" "CMakeFiles/coserve.dir/src/runtime/engine.cc.o.d"
+  "/root/repo/src/runtime/executor.cc" "CMakeFiles/coserve.dir/src/runtime/executor.cc.o" "gcc" "CMakeFiles/coserve.dir/src/runtime/executor.cc.o.d"
+  "/root/repo/src/runtime/pool.cc" "CMakeFiles/coserve.dir/src/runtime/pool.cc.o" "gcc" "CMakeFiles/coserve.dir/src/runtime/pool.cc.o.d"
+  "/root/repo/src/runtime/queue.cc" "CMakeFiles/coserve.dir/src/runtime/queue.cc.o" "gcc" "CMakeFiles/coserve.dir/src/runtime/queue.cc.o.d"
+  "/root/repo/src/sim/channel.cc" "CMakeFiles/coserve.dir/src/sim/channel.cc.o" "gcc" "CMakeFiles/coserve.dir/src/sim/channel.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "CMakeFiles/coserve.dir/src/sim/event_queue.cc.o" "gcc" "CMakeFiles/coserve.dir/src/sim/event_queue.cc.o.d"
+  "/root/repo/src/util/csv.cc" "CMakeFiles/coserve.dir/src/util/csv.cc.o" "gcc" "CMakeFiles/coserve.dir/src/util/csv.cc.o.d"
+  "/root/repo/src/util/linear_fit.cc" "CMakeFiles/coserve.dir/src/util/linear_fit.cc.o" "gcc" "CMakeFiles/coserve.dir/src/util/linear_fit.cc.o.d"
+  "/root/repo/src/util/logging.cc" "CMakeFiles/coserve.dir/src/util/logging.cc.o" "gcc" "CMakeFiles/coserve.dir/src/util/logging.cc.o.d"
+  "/root/repo/src/util/rng.cc" "CMakeFiles/coserve.dir/src/util/rng.cc.o" "gcc" "CMakeFiles/coserve.dir/src/util/rng.cc.o.d"
+  "/root/repo/src/util/stats.cc" "CMakeFiles/coserve.dir/src/util/stats.cc.o" "gcc" "CMakeFiles/coserve.dir/src/util/stats.cc.o.d"
+  "/root/repo/src/util/strutil.cc" "CMakeFiles/coserve.dir/src/util/strutil.cc.o" "gcc" "CMakeFiles/coserve.dir/src/util/strutil.cc.o.d"
+  "/root/repo/src/util/table.cc" "CMakeFiles/coserve.dir/src/util/table.cc.o" "gcc" "CMakeFiles/coserve.dir/src/util/table.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "CMakeFiles/coserve.dir/src/workload/generator.cc.o" "gcc" "CMakeFiles/coserve.dir/src/workload/generator.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "CMakeFiles/coserve.dir/src/workload/trace.cc.o" "gcc" "CMakeFiles/coserve.dir/src/workload/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_device_planning.dir/examples/custom_device_planning.cpp.o"
+  "CMakeFiles/custom_device_planning.dir/examples/custom_device_planning.cpp.o.d"
+  "custom_device_planning"
+  "custom_device_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_device_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

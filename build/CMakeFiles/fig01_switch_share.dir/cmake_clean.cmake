@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_switch_share.dir/bench/fig01_switch_share.cc.o"
+  "CMakeFiles/fig01_switch_share.dir/bench/fig01_switch_share.cc.o.d"
+  "fig01_switch_share"
+  "fig01_switch_share.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_switch_share.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

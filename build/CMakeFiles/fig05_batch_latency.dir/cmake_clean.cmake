@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_batch_latency.dir/bench/fig05_batch_latency.cc.o"
+  "CMakeFiles/fig05_batch_latency.dir/bench/fig05_batch_latency.cc.o.d"
+  "fig05_batch_latency"
+  "fig05_batch_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_batch_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_batch_footprint.dir/bench/fig06_batch_footprint.cc.o"
+  "CMakeFiles/fig06_batch_footprint.dir/bench/fig06_batch_footprint.cc.o.d"
+  "fig06_batch_footprint"
+  "fig06_batch_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_batch_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

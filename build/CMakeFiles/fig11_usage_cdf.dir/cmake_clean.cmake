@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_usage_cdf.dir/bench/fig11_usage_cdf.cc.o"
+  "CMakeFiles/fig11_usage_cdf.dir/bench/fig11_usage_cdf.cc.o.d"
+  "fig11_usage_cdf"
+  "fig11_usage_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_usage_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

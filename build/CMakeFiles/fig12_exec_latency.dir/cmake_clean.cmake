@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_exec_latency.dir/bench/fig12_exec_latency.cc.o"
+  "CMakeFiles/fig12_exec_latency.dir/bench/fig12_exec_latency.cc.o.d"
+  "fig12_exec_latency"
+  "fig12_exec_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_exec_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

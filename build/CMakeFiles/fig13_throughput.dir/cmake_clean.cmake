@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_throughput.dir/bench/fig13_throughput.cc.o"
+  "CMakeFiles/fig13_throughput.dir/bench/fig13_throughput.cc.o.d"
+  "fig13_throughput"
+  "fig13_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_switches.dir/bench/fig14_switches.cc.o"
+  "CMakeFiles/fig14_switches.dir/bench/fig14_switches.cc.o.d"
+  "fig14_switches"
+  "fig14_switches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_switches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

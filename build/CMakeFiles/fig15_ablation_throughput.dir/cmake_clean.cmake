@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_ablation_throughput.dir/bench/fig15_ablation_throughput.cc.o"
+  "CMakeFiles/fig15_ablation_throughput.dir/bench/fig15_ablation_throughput.cc.o.d"
+  "fig15_ablation_throughput"
+  "fig15_ablation_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_ablation_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

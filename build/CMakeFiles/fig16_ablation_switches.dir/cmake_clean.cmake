@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_ablation_switches.dir/bench/fig16_ablation_switches.cc.o"
+  "CMakeFiles/fig16_ablation_switches.dir/bench/fig16_ablation_switches.cc.o.d"
+  "fig16_ablation_switches"
+  "fig16_ablation_switches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_ablation_switches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

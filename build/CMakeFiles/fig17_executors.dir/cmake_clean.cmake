@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_executors.dir/bench/fig17_executors.cc.o"
+  "CMakeFiles/fig17_executors.dir/bench/fig17_executors.cc.o.d"
+  "fig17_executors"
+  "fig17_executors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_executors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

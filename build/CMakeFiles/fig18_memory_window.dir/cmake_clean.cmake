@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_memory_window.dir/bench/fig18_memory_window.cc.o"
+  "CMakeFiles/fig18_memory_window.dir/bench/fig18_memory_window.cc.o.d"
+  "fig18_memory_window"
+  "fig18_memory_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_memory_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

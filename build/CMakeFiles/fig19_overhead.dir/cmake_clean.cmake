@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_overhead.dir/bench/fig19_overhead.cc.o"
+  "CMakeFiles/fig19_overhead.dir/bench/fig19_overhead.cc.o.d"
+  "fig19_overhead"
+  "fig19_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

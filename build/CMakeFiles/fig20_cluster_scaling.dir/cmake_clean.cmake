@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_cluster_scaling.dir/bench/fig20_cluster_scaling.cc.o"
+  "CMakeFiles/fig20_cluster_scaling.dir/bench/fig20_cluster_scaling.cc.o.d"
+  "fig20_cluster_scaling"
+  "fig20_cluster_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_cluster_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llm_expert_router.dir/examples/llm_expert_router.cpp.o"
+  "CMakeFiles/llm_expert_router.dir/examples/llm_expert_router.cpp.o.d"
+  "llm_expert_router"
+  "llm_expert_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llm_expert_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coe.dir/tests/test_coe.cc.o"
+  "CMakeFiles/test_coe.dir/tests/test_coe.cc.o.d"
+  "test_coe"
+  "test_coe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw_model.dir/tests/test_hw_model.cc.o"
+  "CMakeFiles/test_hw_model.dir/tests/test_hw_model.cc.o.d"
+  "test_hw_model"
+  "test_hw_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pool_queue.dir/tests/test_pool_queue.cc.o"
+  "CMakeFiles/test_pool_queue.dir/tests/test_pool_queue.cc.o.d"
+  "test_pool_queue"
+  "test_pool_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pool_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_profiler_planner.dir/tests/test_profiler_planner.cc.o"
+  "CMakeFiles/test_profiler_planner.dir/tests/test_profiler_planner.cc.o.d"
+  "test_profiler_planner"
+  "test_profiler_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_profiler_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

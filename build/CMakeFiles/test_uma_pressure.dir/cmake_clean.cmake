@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uma_pressure.dir/tests/test_uma_pressure.cc.o"
+  "CMakeFiles/test_uma_pressure.dir/tests/test_uma_pressure.cc.o.d"
+  "test_uma_pressure"
+  "test_uma_pressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uma_pressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
