@@ -13,9 +13,11 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "baselines/systems.h"
 #include "coe/board_builder.h"
+#include "util/logging.h"
 #include "util/strutil.h"
 #include "util/table.h"
 
@@ -115,6 +117,67 @@ paperTasks()
         {"Task B2", &modelB(), taskB2()},
     };
 }
+
+// ------------------------------------------------------------ perf JSON
+
+/**
+ * Minimal writer for the BENCH_*.json perf-tracking files: a flat JSON
+ * object of scenario objects, each holding numeric fields. Numbers are
+ * printed with enough precision to round-trip doubles.
+ */
+class BenchJson
+{
+  public:
+    /** Start a new scenario @p name (names must be distinct). */
+    void
+    scenario(const std::string &name)
+    {
+        for (const Scenario &sc : scenarios_)
+            COSERVE_CHECK(sc.name != name, "duplicate scenario ", name);
+        scenarios_.push_back({name, {}});
+    }
+
+    /** Add numeric field @p key = @p value to the current scenario. */
+    void
+    field(const std::string &key, double value)
+    {
+        COSERVE_CHECK(!scenarios_.empty(), "field() before scenario()");
+        scenarios_.back().fields.push_back({key, value});
+    }
+
+    /** Write the collected scenarios to @p path; returns success. */
+    bool
+    writeTo(const std::string &path) const
+    {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f)
+            return false;
+        std::fprintf(f, "{\n");
+        for (std::size_t s = 0; s < scenarios_.size(); ++s) {
+            const Scenario &sc = scenarios_[s];
+            std::fprintf(f, "  \"%s\": {\n", sc.name.c_str());
+            for (std::size_t i = 0; i < sc.fields.size(); ++i) {
+                std::fprintf(f, "    \"%s\": %.17g%s\n",
+                             sc.fields[i].first.c_str(),
+                             sc.fields[i].second,
+                             i + 1 < sc.fields.size() ? "," : "");
+            }
+            std::fprintf(f, "  }%s\n",
+                         s + 1 < scenarios_.size() ? "," : "");
+        }
+        std::fprintf(f, "}\n");
+        std::fclose(f);
+        return true;
+    }
+
+  private:
+    struct Scenario
+    {
+        std::string name;
+        std::vector<std::pair<std::string, double>> fields;
+    };
+    std::vector<Scenario> scenarios_;
+};
 
 } // namespace coserve::bench
 

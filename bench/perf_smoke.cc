@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Perf smoke harness — host-side performance tracking for the
+ * discrete-event core.
+ *
+ * Unlike the figNN / table1 binaries (which reproduce paper artifacts
+ * in *virtual* time), this harness measures how fast the simulator
+ * itself
+ * runs on the host, in three scenarios:
+ *
+ *  - queue_micro:    raw EventQueue schedule/cancel/run stress, no
+ *                    engine logic — isolates the queue hot path;
+ *  - single_engine:  a fixed mid-size trace through one CoServe
+ *                    (casual) engine;
+ *  - cluster_4x:     the same trace through a 4-replica least-loaded
+ *                    cluster (threaded replicas).
+ *
+ * Each scenario reports events executed, wall time and events/sec, and
+ * all three are written to BENCH_perf.json (argv[1] overrides the
+ * path) so the perf trajectory of the repo is machine-trackable.
+ * Build with CMAKE_BUILD_TYPE=Release for meaningful numbers.
+ */
+
+#include "bench/bench_util.h"
+
+#include <chrono>
+#include <cstdint>
+
+#include "cluster/cluster.h"
+#include "metrics/cluster_result.h"
+#include "sim/event_queue.h"
+
+using namespace coserve;
+
+namespace {
+
+double
+wallSecondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+/**
+ * Self-rescheduling event storm: keeps ~1k events in flight, each
+ * firing reschedules itself at a pseudo-random future time, and every
+ * 8th firing also schedules-then-cancels a dummy event so the
+ * cancellation path stays on the measured profile. Deterministic (LCG
+ * delays, no host randomness).
+ */
+struct QueueMicro
+{
+    EventQueue eq;
+    std::uint64_t budget = 0;
+    std::uint64_t lcg = 0x9e3779b97f4a7c15ull;
+
+    Time
+    nextDelay()
+    {
+        lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+        return static_cast<Time>(1 + ((lcg >> 33) % 1000));
+    }
+
+    void
+    tick()
+    {
+        if (budget == 0)
+            return;
+        --budget;
+        if ((budget & 7) == 0) {
+            const EventId id =
+                eq.schedule(eq.now() + nextDelay(), [] {});
+            eq.cancel(id);
+        }
+        eq.schedule(eq.now() + nextDelay(), [this] { tick(); });
+    }
+
+    std::uint64_t
+    run(std::uint64_t totalTicks)
+    {
+        budget = totalTicks;
+        for (int i = 0; i < 1024; ++i)
+            eq.schedule(nextDelay(), [this] { tick(); });
+        eq.run();
+        return eq.executed();
+    }
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string jsonPath = argc > 1 ? argv[1] : "BENCH_perf.json";
+    bench::banner("perf_smoke",
+                  "Host-side events/sec of the discrete-event core");
+
+    bench::BenchJson json;
+    Table t({"Scenario", "Events", "Wall (ms)", "Events/sec",
+             "Sim throughput (img/s)"});
+
+    // ---------------------------------------------------- queue_micro
+    {
+        QueueMicro micro;
+        const auto t0 = std::chrono::steady_clock::now();
+        const std::uint64_t events = micro.run(4'000'000);
+        const double wall = wallSecondsSince(t0);
+        const double eps = static_cast<double>(events) / wall;
+        json.scenario("queue_micro");
+        json.field("events", static_cast<double>(events));
+        json.field("wall_ms", wall * 1e3);
+        json.field("events_per_sec", eps);
+        t.addRow({"queue_micro", std::to_string(events),
+                  formatDouble(wall * 1e3, 1), formatDouble(eps, 0),
+                  "-"});
+    }
+
+    // The engine scenarios share one offline context and one trace:
+    // board A on the NUMA device, 30k images at the paper's 4 ms
+    // production cadence (mid-size: ~10x Task A2). Engines are
+    // single-use, so each iteration builds a fresh one from the same
+    // resolved config; runs are deterministic, iterations only reduce
+    // host-timing noise.
+    Harness &h = bench::harnessFor(bench::numaDevice(), bench::modelA());
+    TaskSpec task = taskA2();
+    task.name = "perf-smoke";
+    task.numImages = 30000;
+    const Trace trace = generateTrace(bench::modelA(), task);
+    const EngineConfig cfg =
+        h.makeConfig(SystemKind::CoServeCasual, trace, {});
+
+    // --------------------------------------------------- single_engine
+    {
+        constexpr int kIters = 5;
+        std::uint64_t events = 0;
+        double wall = 0.0, throughput = 0.0;
+        std::int64_t images = 0;
+        for (int i = 0; i < kIters; ++i) {
+            auto engine = makeCoServeEngine(h.context(), cfg);
+            const auto t0 = std::chrono::steady_clock::now();
+            const RunResult r = engine->run(trace);
+            wall += wallSecondsSince(t0);
+            events += r.eventsExecuted;
+            // Iterations replay the identical simulation; any drift in
+            // the *simulated* metrics is a determinism bug, not noise.
+            if (i > 0) {
+                COSERVE_CHECK(r.images == images &&
+                                  r.throughput == throughput,
+                              "single_engine iterations diverged");
+            }
+            images = r.images;
+            throughput = r.throughput;
+        }
+        const double eps = static_cast<double>(events) / wall;
+        json.scenario("single_engine");
+        json.field("events", static_cast<double>(events) / kIters);
+        json.field("wall_ms", wall * 1e3 / kIters);
+        json.field("events_per_sec", eps);
+        json.field("images", static_cast<double>(images));
+        json.field("sim_throughput_img_per_sec", throughput);
+        t.addRow({"single_engine", std::to_string(events / kIters),
+                  formatDouble(wall * 1e3 / kIters, 1),
+                  formatDouble(eps, 0), formatDouble(throughput, 1)});
+    }
+
+    // ------------------------------------------------------ cluster_4x
+    {
+        constexpr int kIters = 3;
+        std::uint64_t events = 0;
+        double wall = 0.0, throughput = 0.0;
+        std::int64_t images = 0;
+        for (int i = 0; i < kIters; ++i) {
+            ClusterEngine cluster(homogeneousCluster(
+                h.context(), cfg, 4, RoutingPolicy::LeastLoaded,
+                "perf-smoke"));
+            const ClusterResult r = cluster.run(trace);
+            wall += r.wallSeconds;
+            events += r.eventsExecuted;
+            if (i > 0) {
+                COSERVE_CHECK(r.images == images &&
+                                  r.throughput == throughput,
+                              "cluster_4x iterations diverged");
+            }
+            images = r.images;
+            throughput = r.throughput;
+        }
+        const double eps = static_cast<double>(events) / wall;
+        json.scenario("cluster_4x");
+        json.field("events", static_cast<double>(events) / kIters);
+        json.field("wall_ms", wall * 1e3 / kIters);
+        json.field("events_per_sec", eps);
+        json.field("images", static_cast<double>(images));
+        json.field("sim_throughput_img_per_sec", throughput);
+        t.addRow({"cluster_4x", std::to_string(events / kIters),
+                  formatDouble(wall * 1e3 / kIters, 1),
+                  formatDouble(eps, 0), formatDouble(throughput, 1)});
+    }
+
+    t.print();
+    if (!json.writeTo(jsonPath)) {
+        std::fprintf(stderr, "failed to write %s\n", jsonPath.c_str());
+        return 1;
+    }
+    std::printf("wrote %s\n", jsonPath.c_str());
+    return 0;
+}

@@ -35,13 +35,32 @@ DependencyAwareScheduler::additionalLatency(const ServingEngine &engine,
                                             std::size_t i,
                                             const Request &req) const
 {
-    const Executor &exec = engine.executorAt(i);
     const ArchId arch = engine.model().expert(req.expert).arch;
+    return additionalLatencyImpl(engine, i, req, arch, nullptr);
+}
+
+Time
+DependencyAwareScheduler::additionalLatencyImpl(
+    const ServingEngine &engine, std::size_t i, const Request &req,
+    ArchId arch, ExecMemo *memo) const
+{
+    const Executor &exec = engine.executorAt(i);
 
     // Execution part (K / K + B, Section 4.2).
     const bool joinsGroup = exec.queue().containsExpert(req.expert);
-    const Time execPart = execEstimate(perf_, &engine.truth(), arch,
-                                       exec.kind(), joinsGroup);
+    Time execPart;
+    if (memo) {
+        const int kindIdx = exec.kind() == ProcKind::GPU ? 0 : 1;
+        if (!memo->valid[kindIdx][joinsGroup]) {
+            memo->value[kindIdx][joinsGroup] = execEstimate(
+                perf_, &engine.truth(), arch, exec.kind(), joinsGroup);
+            memo->valid[kindIdx][joinsGroup] = true;
+        }
+        execPart = memo->value[kindIdx][joinsGroup];
+    } else {
+        execPart = execEstimate(perf_, &engine.truth(), arch,
+                                exec.kind(), joinsGroup);
+    }
 
     // Switch part: zero when resident or already demanded (Section 4.2).
     const Time switchPart = engine.predictLoadTime(i, req.expert);
@@ -56,28 +75,40 @@ DependencyAwareScheduler::dispatch(ServingEngine &engine,
     const std::size_t n = engine.numExecutors();
     COSERVE_CHECK(n > 0, "no executors");
 
-    // Predicted finish time of each queue as-is.
-    std::vector<Time> finish(n);
+    scratch_.clear();
+    scratch_.reserve(n); // no-op once warm
+
+    // One pass over the executors gathers both the as-is finish time
+    // and the additional latency (the two loops of the original
+    // formulation, folded), memoizing the execution part of the
+    // estimate across executors.
+    const ArchId arch = engine.model().expert(req.expert).arch;
+    const Time now = engine.now();
+    ExecMemo memo;
+
+    Time maxFinish = 0;
     for (std::size_t i = 0; i < n; ++i) {
         const Executor &exec = engine.executorAt(i);
-        finish[i] = std::max(engine.now(), exec.busyUntil()) +
-                    exec.queue().pendingWork();
+        const Time finish = std::max(now, exec.busyUntil()) +
+                            exec.queue().pendingWork();
+        maxFinish = std::max(maxFinish, finish);
+        scratch_.push_back(
+            {finish, additionalLatencyImpl(engine, i, req, arch, &memo)});
     }
-    const Time maxFinish = *std::max_element(finish.begin(), finish.end());
 
     std::size_t best = 0;
     Time bestTotal = kTimeNever;
     Time bestAdd = kTimeNever;
     for (std::size_t i = 0; i < n; ++i) {
-        const Time add = additionalLatency(engine, i, req);
         // Total inference time across executors if assigned to i
         // (queues run in parallel; the longest one dictates, Fig. 8).
-        const Time total = std::max(maxFinish, finish[i] + add);
+        const Time total =
+            std::max(maxFinish, scratch_[i].finish + scratch_[i].add);
         if (total < bestTotal ||
-            (total == bestTotal && add < bestAdd)) {
+            (total == bestTotal && scratch_[i].add < bestAdd)) {
             best = i;
             bestTotal = total;
-            bestAdd = add;
+            bestAdd = scratch_[i].add;
         }
     }
 

@@ -19,6 +19,8 @@
 #ifndef COSERVE_CORE_SCHEDULER_H
 #define COSERVE_CORE_SCHEDULER_H
 
+#include <vector>
+
 #include "core/perf_matrix.h"
 #include "model/latency_model.h"
 #include "runtime/policies.h"
@@ -63,7 +65,41 @@ class DependencyAwareScheduler : public Scheduler
                              ProcKind proc, bool joinsGroup);
 
   private:
+    /** Per-executor dispatch intermediates (finish time + estimate). */
+    struct Candidate
+    {
+        Time finish;
+        Time add;
+    };
+
+    /**
+     * Memo of the execution part of the estimate, which only depends
+     * on (processor kind, joins-group): at most four distinct values
+     * per dispatched request.
+     */
+    struct ExecMemo
+    {
+        Time value[2][2];
+        bool valid[2][2] = {{false, false}, {false, false}};
+    };
+
+    /**
+     * The one implementation of the Section 4.2 estimate; the public
+     * additionalLatency() and the dispatch() hot loop both call it,
+     * dispatch() passing a @p memo to amortize the execution part
+     * across executors.
+     */
+    Time additionalLatencyImpl(const ServingEngine &engine,
+                               std::size_t i, const Request &req,
+                               ArchId arch, ExecMemo *memo) const;
+
     const PerfMatrix *perf_;
+    /**
+     * Reusable dispatch scratch, one entry per executor. dispatch() is
+     * called once per request on the hottest path; keeping the buffer
+     * across calls makes the steady path allocation-free.
+     */
+    std::vector<Candidate> scratch_;
 };
 
 } // namespace coserve

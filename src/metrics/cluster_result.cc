@@ -28,6 +28,7 @@ aggregateClusterResult(std::string label, std::string routing,
     for (const RunResult &r : replicas) {
         out.images += r.images;
         out.inferences += r.inferences;
+        out.eventsExecuted += r.eventsExecuted;
         out.makespan = std::max(out.makespan, r.makespan);
         out.switches.merge(r.switches);
         for (double x : r.requestLatencyMs.raw())

@@ -33,6 +33,8 @@ struct ClusterResult
     std::int64_t inferences = 0;
     /** Latest replica completion on the shared virtual clock. */
     Time makespan = 0;
+    /** Discrete events executed, summed over replicas. */
+    std::uint64_t eventsExecuted = 0;
     /** Aggregate images per second (images / makespan). */
     double throughput = 0.0;
 

@@ -66,6 +66,8 @@ struct RunResult
     std::int64_t inferences = 0;
     /** First arrival to last completion. */
     Time makespan = 0;
+    /** Discrete events executed by the engine's event queue. */
+    std::uint64_t eventsExecuted = 0;
     /** Primary metric: images per second. */
     double throughput = 0.0;
 

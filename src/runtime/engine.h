@@ -170,6 +170,8 @@ class ServingEngine
 
     double gpuPressure_ = 1.0;
     std::uint64_t loadSeq_ = 0;
+    /** Dispatches seen; drives 1-in-16 scheduling-wall sampling. */
+    std::uint64_t dispatchCount_ = 0;
     RequestId nextRequestId_ = 0;
     std::int64_t imagesDone_ = 0;
     Time lastCompletion_ = 0;

@@ -68,8 +68,8 @@ Executor::startBatch()
     const ExpertId e = queue_.headExpert();
     const ArchId arch = engine_.model().expert(e).arch;
     const int maxBatch = engine_.maxExecutableBatch(*this, arch);
-    std::vector<Request> batch = queue_.popBatch(maxBatch);
-    COSERVE_CHECK(!batch.empty(), "empty batch");
+    queue_.popBatchInto(maxBatch, batchScratch_);
+    COSERVE_CHECK(!batchScratch_.empty(), "empty batch");
 
     pool_.pin(e);
     pool_.touch(e, engine_.now());
@@ -78,7 +78,7 @@ Executor::startBatch()
         softPinned_ = kNoExpert;
     }
 
-    const auto n = static_cast<int>(batch.size());
+    const auto n = static_cast<int>(batchScratch_.size());
     const Time latency = engine_.truth().batchLatency(arch, cfg_.kind, n);
     executing_ = true;
     busyUntil_ = engine_.now() + latency;
@@ -91,12 +91,19 @@ Executor::startBatch()
     issuePrefetch();
 
     engine_.eventQueue().scheduleAfter(
-        latency, [this, e, latency, batch = std::move(batch)]() {
+        latency,
+        [this, e, latency, batch = std::move(batchScratch_)]() mutable {
             executing_ = false;
             pool_.unpin(e);
             pool_.touch(e, engine_.now());
             for (const Request &req : batch)
                 engine_.onInferenceComplete(*this, req, latency);
+            // Hand the buffer back for the next batch. A batch started
+            // by the completions above used the (empty) moved-from
+            // buffer and already reclaimed it into its own event, so
+            // this keeps whichever capacity survived.
+            batchScratch_ = std::move(batch);
+            batchScratch_.clear();
             maybeStart();
         });
 }

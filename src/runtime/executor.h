@@ -18,6 +18,7 @@
 #define COSERVE_RUNTIME_EXECUTOR_H
 
 #include <string>
+#include <vector>
 
 #include "metrics/run_result.h"
 #include "runtime/config.h"
@@ -107,6 +108,13 @@ class Executor
     bool executing_ = false;
     ExpertId softPinned_ = kNoExpert;
     Time busyUntil_ = 0;
+    /**
+     * Recycled batch buffer: startBatch() pops into it, moves it into
+     * the completion event, and the completion hands the (cleared)
+     * buffer back — so the steady path allocates no vectors. Only one
+     * batch runs at a time, so a single buffer suffices.
+     */
+    std::vector<Request> batchScratch_;
     /** Start time of an outstanding demand load; -1 when none. */
     Time demandLoadStart_ = -1;
     ExecutorStats stats_;

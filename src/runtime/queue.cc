@@ -4,112 +4,190 @@
 
 namespace coserve {
 
+RequestQueue::GroupInfo &
+RequestQueue::groupFor(ExpertId e)
+{
+    COSERVE_CHECK(e >= 0, "queued request without an expert");
+    if (static_cast<std::size_t>(e) >= groups_.size())
+        groups_.resize(static_cast<std::size_t>(e) + 1);
+    return groups_[e];
+}
+
+RequestQueue::NodeIdx
+RequestQueue::allocNode(const Request &req, Time estimate)
+{
+    NodeIdx idx;
+    if (!freeNodes_.empty()) {
+        idx = freeNodes_.back();
+        freeNodes_.pop_back();
+    } else {
+        idx = static_cast<NodeIdx>(nodes_.size());
+        nodes_.emplace_back();
+    }
+    Node &node = nodes_[idx];
+    node.entry = Entry{req, estimate};
+    node.prev = kNil;
+    node.next = kNil;
+    return idx;
+}
+
+void
+RequestQueue::linkAfter(NodeIdx pos, NodeIdx node)
+{
+    Node &n = nodes_[node];
+    if (pos == kNil) { // insert at head
+        n.prev = kNil;
+        n.next = head_;
+        if (head_ != kNil)
+            nodes_[head_].prev = node;
+        head_ = node;
+        if (tail_ == kNil)
+            tail_ = node;
+    } else {
+        Node &p = nodes_[pos];
+        n.prev = pos;
+        n.next = p.next;
+        if (p.next != kNil)
+            nodes_[p.next].prev = node;
+        p.next = node;
+        if (tail_ == pos)
+            tail_ = node;
+    }
+    ++size_;
+}
+
+void
+RequestQueue::unlinkHead()
+{
+    const NodeIdx node = head_;
+    head_ = nodes_[node].next;
+    if (head_ != kNil)
+        nodes_[head_].prev = kNil;
+    else
+        tail_ = kNil;
+    freeNodes_.push_back(node);
+    --size_;
+}
+
+void
+RequestQueue::appendTail(const Request &req, Time estimate)
+{
+    const NodeIdx node = allocNode(req, estimate);
+    linkAfter(tail_, node);
+    noteInserted(node);
+}
+
 void
 RequestQueue::pushBack(const Request &req, Time estimate)
 {
-    list_.push_back(Entry{req, estimate});
-    noteInserted(std::prev(list_.end()));
+    // A FIFO insertion may break expert-group contiguity (e.g. A B A),
+    // which the O(1) nextDistinctExpert shortcut relies on.
+    plainInserts_ = true;
+    appendTail(req, estimate);
 }
 
 void
 RequestQueue::pushGrouped(const Request &req, Time estimate)
 {
-    auto git = groups_.find(req.expert);
-    if (git == groups_.end()) {
-        pushBack(req, estimate);
+    GroupInfo &info = groupFor(req.expert);
+    if (info.count == 0) {
+        appendTail(req, estimate);
         return;
     }
-    auto pos = std::next(git->second.last);
-    auto it = list_.insert(pos, Entry{req, estimate});
-    noteInserted(it);
+    const NodeIdx node = allocNode(req, estimate);
+    linkAfter(info.last, node);
+    noteInserted(node);
 }
 
 ExpertId
 RequestQueue::headExpert() const
 {
-    COSERVE_CHECK(!list_.empty(), "headExpert on empty queue");
-    return list_.front().req.expert;
+    COSERVE_CHECK(head_ != kNil, "headExpert on empty queue");
+    return nodes_[head_].entry.req.expert;
 }
 
 std::vector<Request>
 RequestQueue::popBatch(int maxCount)
 {
-    COSERVE_CHECK(maxCount >= 1, "batch of ", maxCount);
-    COSERVE_CHECK(!list_.empty(), "popBatch on empty queue");
-
-    const ExpertId e = list_.front().req.expert;
     std::vector<Request> batch;
-    while (!list_.empty() &&
-           batch.size() < static_cast<std::size_t>(maxCount) &&
-           list_.front().req.expert == e) {
-        auto it = list_.begin();
-        batch.push_back(it->req);
-        noteRemoved(it);
-        list_.erase(it);
-    }
+    popBatchInto(maxCount, batch);
     return batch;
+}
+
+void
+RequestQueue::popBatchInto(int maxCount, std::vector<Request> &out)
+{
+    COSERVE_CHECK(maxCount >= 1, "batch of ", maxCount);
+    COSERVE_CHECK(head_ != kNil, "popBatch on empty queue");
+
+    out.clear();
+    const ExpertId e = nodes_[head_].entry.req.expert;
+    while (head_ != kNil &&
+           out.size() < static_cast<std::size_t>(maxCount) &&
+           nodes_[head_].entry.req.expert == e) {
+        noteRemoved(head_);
+        out.push_back(std::move(nodes_[head_].entry.req));
+        unlinkHead();
+    }
 }
 
 ExpertId
 RequestQueue::nextDistinctExpert() const
 {
-    if (list_.empty())
+    if (head_ == kNil)
         return kNoExpert;
-    const ExpertId head = list_.front().req.expert;
-    for (const Entry &entry : list_) {
-        if (entry.req.expert != head)
-            return entry.req.expert;
+    const ExpertId head = nodes_[head_].entry.req.expert;
+    if (!plainInserts_) {
+        // Grouped-only queue: the head group is contiguous, so the
+        // first request after its last member starts the next group.
+        const NodeIdx after = nodes_[groups_[head].last].next;
+        return after == kNil ? kNoExpert
+                             : nodes_[after].entry.req.expert;
+    }
+    for (NodeIdx i = nodes_[head_].next; i != kNil; i = nodes_[i].next) {
+        if (nodes_[i].entry.req.expert != head)
+            return nodes_[i].entry.req.expert;
     }
     return kNoExpert;
-}
-
-bool
-RequestQueue::containsExpert(ExpertId e) const
-{
-    return groups_.count(e) > 0;
-}
-
-int
-RequestQueue::countForExpert(ExpertId e) const
-{
-    auto it = groups_.find(e);
-    return it == groups_.end() ? 0 : it->second.count;
 }
 
 std::vector<Request>
 RequestQueue::snapshot() const
 {
     std::vector<Request> out;
-    out.reserve(list_.size());
-    for (const Entry &entry : list_)
-        out.push_back(entry.req);
+    out.reserve(size_);
+    for (NodeIdx i = head_; i != kNil; i = nodes_[i].next)
+        out.push_back(nodes_[i].entry.req);
     return out;
 }
 
 void
-RequestQueue::noteInserted(std::list<Entry>::iterator it)
+RequestQueue::noteInserted(NodeIdx node)
 {
-    GroupInfo &info = groups_[it->req.expert];
+    GroupInfo &info = groupFor(nodes_[node].entry.req.expert);
     // The inserted entry is always the last occurrence of its expert:
-    // pushBack appends at the tail; pushGrouped inserts right after the
-    // previous last occurrence.
-    info.last = it;
+    // appendTail places it at the tail; pushGrouped inserts right
+    // after the previous last occurrence.
+    info.last = node;
     info.count += 1;
-    pendingWork_ += it->estimate;
+    pendingWork_ += nodes_[node].entry.estimate;
 }
 
 void
-RequestQueue::noteRemoved(std::list<Entry>::iterator it)
+RequestQueue::noteRemoved(NodeIdx node)
 {
-    auto git = groups_.find(it->req.expert);
-    COSERVE_CHECK(git != groups_.end(), "queue group lost");
-    git->second.count -= 1;
-    if (git->second.count == 0) {
-        COSERVE_CHECK(git->second.last == it,
-                      "group emptied but last iterator differs");
-        groups_.erase(git);
+    const ExpertId e = nodes_[node].entry.req.expert;
+    COSERVE_CHECK(static_cast<std::size_t>(e) < groups_.size() &&
+                      groups_[e].count > 0,
+                  "queue group lost");
+    GroupInfo &info = groups_[e];
+    info.count -= 1;
+    if (info.count == 0) {
+        COSERVE_CHECK(info.last == node,
+                      "group emptied but last node differs");
+        info.last = kNil;
     }
-    pendingWork_ -= it->estimate;
+    pendingWork_ -= nodes_[node].entry.estimate;
 }
 
 } // namespace coserve

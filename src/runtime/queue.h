@@ -11,13 +11,21 @@
  * The queue also tracks the scheduler's per-request latency estimates
  * so the dependency-aware scheduler can predict each queue's total
  * inference time in O(1) (Figure 8).
+ *
+ * Implementation: an intrusive doubly-linked list over a contiguous
+ * node pool with a free list, plus a flat per-expert group index
+ * (experts are small dense ids). The scheduler probes every executor
+ * queue on every dispatch — containsExpert() and pendingWork() are the
+ * hottest reads in the system — so membership tests are array lookups
+ * and the steady path performs no per-request allocation (the previous
+ * std::list + std::unordered_map design paid a node allocation per
+ * request and a hash walk per probe).
  */
 
 #ifndef COSERVE_RUNTIME_QUEUE_H
 #define COSERVE_RUNTIME_QUEUE_H
 
-#include <list>
-#include <unordered_map>
+#include <cstdint>
 #include <vector>
 
 #include "workload/request.h"
@@ -46,10 +54,10 @@ class RequestQueue
     void pushGrouped(const Request &req, Time estimate = 0);
 
     /** @return true when no requests are queued. */
-    bool empty() const { return list_.empty(); }
+    bool empty() const { return size_ == 0; }
 
     /** @return queued request count. */
-    std::size_t size() const { return list_.size(); }
+    std::size_t size() const { return size_; }
 
     /** Expert of the head request; panics when empty. */
     ExpertId headExpert() const;
@@ -61,16 +69,34 @@ class RequestQueue
     std::vector<Request> popBatch(int maxCount);
 
     /**
+     * As popBatch, but *moves* the requests into @p out (cleared
+     * first), so a caller-owned buffer can be recycled batch after
+     * batch instead of allocating a fresh vector per batch.
+     */
+    void popBatchInto(int maxCount, std::vector<Request> &out);
+
+    /**
      * Expert of the first request group after the head group; used as
      * the prefetch target. kNoExpert when the queue has one group.
      */
     ExpertId nextDistinctExpert() const;
 
     /** @return true when some queued request uses @p e. */
-    bool containsExpert(ExpertId e) const;
+    bool
+    containsExpert(ExpertId e) const
+    {
+        return static_cast<std::size_t>(e) < groups_.size() &&
+               groups_[e].count > 0;
+    }
 
     /** @return number of queued requests using @p e. */
-    int countForExpert(ExpertId e) const;
+    int
+    countForExpert(ExpertId e) const
+    {
+        return static_cast<std::size_t>(e) < groups_.size()
+                   ? groups_[e].count
+                   : 0;
+    }
 
     /** Sum of scheduler estimates of all queued requests. */
     Time pendingWork() const { return pendingWork_; }
@@ -79,18 +105,48 @@ class RequestQueue
     std::vector<Request> snapshot() const;
 
   private:
+    using NodeIdx = std::int32_t;
+    static constexpr NodeIdx kNil = -1;
+
+    /** Pool-allocated list node. */
+    struct Node
+    {
+        Entry entry;
+        NodeIdx prev = kNil;
+        NodeIdx next = kNil;
+    };
+
+    /** Per-expert bookkeeping, indexed by (dense, small) ExpertId. */
     struct GroupInfo
     {
-        std::list<Entry>::iterator last;
+        /** Pool index of the last queued request of this expert. */
+        NodeIdx last = kNil;
         int count = 0;
     };
 
-    void noteInserted(std::list<Entry>::iterator it);
-    void noteRemoved(std::list<Entry>::iterator it);
+    NodeIdx allocNode(const Request &req, Time estimate);
+    void linkAfter(NodeIdx pos, NodeIdx node); // pos == kNil: at head
+    void unlinkHead();
+    void noteInserted(NodeIdx node);
+    void noteRemoved(NodeIdx node);
+    void appendTail(const Request &req, Time estimate);
+    GroupInfo &groupFor(ExpertId e);
 
-    std::list<Entry> list_;
-    std::unordered_map<ExpertId, GroupInfo> groups_;
+    std::vector<Node> nodes_;
+    std::vector<NodeIdx> freeNodes_;
+    NodeIdx head_ = kNil;
+    NodeIdx tail_ = kNil;
+    std::size_t size_ = 0;
+    std::vector<GroupInfo> groups_;
     Time pendingWork_ = 0;
+    /**
+     * True once a plain (FIFO) pushBack interleaved with the queue's
+     * contents. Under pure grouped insertion every expert's requests
+     * are contiguous, which lets nextDistinctExpert() answer in O(1)
+     * from the head group's last node; FIFO queues fall back to the
+     * linear scan.
+     */
+    bool plainInserts_ = false;
 };
 
 } // namespace coserve

@@ -39,7 +39,7 @@ BandwidthChannel::busyUntil() const
 }
 
 Time
-BandwidthChannel::transfer(std::int64_t bytes, std::function<void()> done)
+BandwidthChannel::transfer(std::int64_t bytes, EventQueue::Callback done)
 {
     const Time completion = predictCompletion(bytes);
     busyUntil_ = completion;

@@ -17,7 +17,6 @@
 #define COSERVE_SIM_CHANNEL_H
 
 #include <cstdint>
-#include <functional>
 #include <string>
 
 #include "sim/event_queue.h"
@@ -40,10 +39,12 @@ class BandwidthChannel
 
     /**
      * Enqueue a transfer of @p bytes; @p done runs at completion time.
+     * The callback only needs to be movable (it is handed straight to
+     * the event queue without re-wrapping).
      *
      * @return the predicted completion time.
      */
-    Time transfer(std::int64_t bytes, std::function<void()> done);
+    Time transfer(std::int64_t bytes, EventQueue::Callback done);
 
     /** Pure prediction: completion time if a transfer were enqueued now. */
     Time predictCompletion(std::int64_t bytes) const;

@@ -7,17 +7,26 @@
  * completions are all events. Events at equal timestamps execute in
  * schedule order (a monotonically increasing sequence number breaks
  * ties), which makes whole-system runs deterministic.
+ *
+ * Implementation: a binary min-heap over a contiguous std::vector,
+ * ordered by (time, seq). Callbacks live in a slot pool indexed by the
+ * heap items; cancellation bumps the slot's generation counter and
+ * destroys the callback, leaving a tombstone item in the heap that
+ * runOne() discards when it surfaces. The steady-state hot path
+ * (schedule + runOne) therefore performs no per-event allocation —
+ * unlike the previous std::map-of-std::function design, which paid a
+ * tree-node allocation per event and a heap allocation per callback
+ * whose captures exceeded std::function's small buffer.
  */
 
 #ifndef COSERVE_SIM_EVENT_QUEUE_H
 #define COSERVE_SIM_EVENT_QUEUE_H
 
 #include <cstdint>
-#include <functional>
-#include <map>
-#include <utility>
+#include <vector>
 
 #include "util/logging.h"
+#include "util/move_function.h"
 #include "util/time.h"
 
 namespace coserve {
@@ -27,6 +36,9 @@ struct EventId
 {
     Time when = 0;
     std::uint64_t seq = 0;
+    /** Slot-pool position + generation (cancellation bookkeeping). */
+    std::uint32_t slot = 0;
+    std::uint32_t gen = 0;
 
     bool
     operator==(const EventId &o) const
@@ -44,7 +56,7 @@ struct EventId
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = MoveFunction;
 
     /** @return the current virtual time. */
     Time now() const { return now_; }
@@ -52,7 +64,7 @@ class EventQueue
     /**
      * Schedule @p fn to run at absolute time @p when.
      *
-     * @param when must be >= now().
+     * @param when must be >= now(); scheduling into the past aborts.
      * @param fn callback executed when the clock reaches @p when.
      * @return handle for cancellation.
      */
@@ -63,13 +75,14 @@ class EventQueue
 
     /**
      * Cancel a pending event.
-     * @return true if the event was pending and is now removed.
+     * @return true if the event was pending and is now removed; false
+     *         for already-executed or already-cancelled events.
      */
     bool cancel(const EventId &id);
 
     /**
      * Execute the next event (advancing the clock).
-     * @return false when the queue is empty.
+     * @return false when no live events remain.
      */
     bool runOne();
 
@@ -79,26 +92,52 @@ class EventQueue
     /** Run events with timestamp <= @p until (clock ends at @p until). */
     void runUntil(Time until);
 
-    /** @return number of pending events. */
-    std::size_t pending() const { return events_.size(); }
+    /** @return number of pending *live* (non-cancelled) events. */
+    std::size_t pending() const { return live_; }
 
     /** @return total number of events executed so far. */
     std::uint64_t executed() const { return executed_; }
 
   private:
-    struct Key
+    /** Heap entry; the callback lives in slots_[slot]. */
+    struct Item
     {
         Time when;
         std::uint64_t seq;
-
-        bool
-        operator<(const Key &o) const
-        {
-            return when != o.when ? when < o.when : seq < o.seq;
-        }
+        std::uint32_t slot;
+        std::uint32_t gen;
     };
 
-    std::map<Key, Callback> events_;
+    /**
+     * Callback storage. gen counts retirements (execution or
+     * cancellation); a heap item whose gen no longer matches its
+     * slot's is a tombstone. seq disambiguates handles so a stale
+     * EventId can never cancel a later occupant of the same slot.
+     */
+    struct Slot
+    {
+        Callback fn;
+        std::uint32_t gen = 0;
+        std::uint64_t seq = 0;
+    };
+
+    static bool
+    earlier(const Item &a, const Item &b)
+    {
+        return a.when != b.when ? a.when < b.when : a.seq < b.seq;
+    }
+
+    void siftUp(std::size_t i);
+    void siftDown(std::size_t i);
+    /** Remove the heap top (no slot bookkeeping). */
+    void popTop();
+    /** Discard tombstones until the top item is live (or heap empty). */
+    void dropCancelledTop();
+
+    std::vector<Item> heap_;
+    std::vector<Slot> slots_;
+    std::vector<std::uint32_t> freeSlots_;
+    std::size_t live_ = 0;
     Time now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;
