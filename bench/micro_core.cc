@@ -13,6 +13,7 @@
 #include "coe/dependency.h"
 #include "coe/usage.h"
 #include "core/two_stage_eviction.h"
+#include "runtime/pool.h"
 #include "runtime/queue.h"
 #include "sim/event_queue.h"
 #include "util/rng.h"

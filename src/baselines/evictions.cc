@@ -3,7 +3,7 @@
 namespace coserve {
 
 std::optional<ExpertId>
-LruEviction::selectVictim(const ModelPool &pool,
+LruEviction::selectVictim(const MemoryTier &pool,
                           const EvictionContext &ctx)
 {
     std::optional<ExpertId> victim;
@@ -21,7 +21,7 @@ LruEviction::selectVictim(const ModelPool &pool,
 }
 
 std::optional<ExpertId>
-LfuEviction::selectVictim(const ModelPool &pool,
+LfuEviction::selectVictim(const MemoryTier &pool,
                           const EvictionContext &ctx)
 {
     std::optional<ExpertId> victim;
@@ -44,7 +44,7 @@ LfuEviction::selectVictim(const ModelPool &pool,
 }
 
 std::optional<ExpertId>
-FifoEviction::selectVictim(const ModelPool &pool,
+FifoEviction::selectVictim(const MemoryTier &pool,
                            const EvictionContext &ctx)
 {
     std::optional<ExpertId> victim;

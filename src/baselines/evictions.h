@@ -21,7 +21,7 @@ class LruEviction : public EvictionPolicy
     const char *name() const override { return "lru"; }
 
     std::optional<ExpertId>
-    selectVictim(const ModelPool &pool, const EvictionContext &ctx)
+    selectVictim(const MemoryTier &pool, const EvictionContext &ctx)
         override;
 };
 
@@ -32,7 +32,7 @@ class FifoEviction : public EvictionPolicy
     const char *name() const override { return "fifo"; }
 
     std::optional<ExpertId>
-    selectVictim(const ModelPool &pool, const EvictionContext &ctx)
+    selectVictim(const MemoryTier &pool, const EvictionContext &ctx)
         override;
 };
 
@@ -48,7 +48,7 @@ class LfuEviction : public EvictionPolicy
     const char *name() const override { return "lfu"; }
 
     std::optional<ExpertId>
-    selectVictim(const ModelPool &pool, const EvictionContext &ctx)
+    selectVictim(const MemoryTier &pool, const EvictionContext &ctx)
         override;
 };
 

@@ -21,6 +21,14 @@ ClusterEngine::ClusterEngine(ClusterConfig cfg) : cfg_(std::move(cfg))
                           &cfg_.replicas.front().ctx->model(),
                       "replica ", i,
                       " serves a different CoE model than replica 0");
+        // The engine builds channels from cfg.device but latency /
+        // footprint models from ctx: mixed-up heterogeneous specs
+        // would silently simulate inconsistent hardware.
+        COSERVE_CHECK(r.cfg.device.name == r.ctx->device().name,
+                      "replica ", i, " config device '",
+                      r.cfg.device.name,
+                      "' does not match its context device '",
+                      r.ctx->device().name, "'");
     }
 }
 
@@ -53,11 +61,32 @@ ClusterEngine::run(const Trace &trace)
     const std::vector<Trace> shards =
         shardTrace(trace, assignment, cfg_.replicas.size());
 
-    const auto runReplica = [this, &shards](std::size_t i,
-                                            RunResult &out) {
+    // One physical host DRAM behind all replicas: evictions from any
+    // replica's GPU pool demote into this tier, and any replica's
+    // loads may hit it. Lives only for the duration of the run.
+    std::unique_ptr<SharedCpuTier> sharedCpu;
+    if (cfg_.shareCpuTier) {
+        std::int64_t cap = cfg_.sharedCpuTierBytes;
+        if (cap == 0) {
+            // Same total DRAM as the private split: only replicas
+            // whose private tier would actually be enabled contribute.
+            for (const ReplicaSpec &r : cfg_.replicas) {
+                if (r.cfg.cpuCacheTier)
+                    cap += r.cfg.cpuCacheBytes;
+            }
+        }
+        COSERVE_CHECK(cap > 0, "shareCpuTier needs sharedCpuTierBytes ",
+                      "or replicas with an enabled cpuCacheTier");
+        sharedCpu = std::make_unique<SharedCpuTier>(cap);
+    }
+
+    const auto runReplica = [this, &shards, &sharedCpu](std::size_t i,
+                                                        RunResult &out) {
         const ReplicaSpec &spec = cfg_.replicas[i];
         EngineConfig cfg = spec.cfg;
         cfg.label = cfg_.label + "/replica" + std::to_string(i);
+        if (sharedCpu != nullptr)
+            cfg.externalCpuTier = sharedCpu.get();
         auto engine = makeCoServeEngine(*spec.ctx, std::move(cfg));
         out = engine->run(shards[i]);
     };
@@ -81,7 +110,27 @@ ClusterEngine::run(const Trace &trace)
         cfg_.label, toString(cfg_.routing), std::move(results));
     out.wallSeconds =
         std::chrono::duration<double>(wallEnd - wallStart).count();
+    // The shared tier is cluster-owned: replicas do not report it, so
+    // append its (cross-replica) counters once, and fold its disk
+    // spills into the cluster-wide disk entry (private-tier runs
+    // account the same spills through each engine's own disk tier).
+    if (sharedCpu != nullptr) {
+        out.tiers.push_back(sharedCpu->stats());
+        mergeTierStats(out.tiers, sharedCpu->diskStats());
+    }
     return out;
+}
+
+ClusterConfig
+heterogeneousCluster(std::vector<ReplicaSpec> replicas,
+                     RoutingPolicy routing, std::string label)
+{
+    COSERVE_CHECK(!replicas.empty(), "need at least one replica");
+    ClusterConfig cluster;
+    cluster.label = std::move(label);
+    cluster.routing = routing;
+    cluster.replicas = std::move(replicas);
+    return cluster;
 }
 
 ClusterConfig

@@ -37,7 +37,9 @@ struct ReplicaSpec
     /**
      * Offline products for the replica's device (not owned; must
      * outlive the cluster). Replicas on identical devices may share
-     * one context.
+     * one context; heterogeneous clusters carry one context per
+     * device kind, each with its own DeviceSpec (cfg.device must
+     * match ctx->device()).
      */
     const CoServeContext *ctx = nullptr;
     /** Resolved engine configuration for this replica. */
@@ -51,11 +53,26 @@ struct ClusterConfig
     RoutingPolicy routing = RoutingPolicy::LeastLoaded;
     /**
      * Run replicas on one std::thread each (true) or sequentially on
-     * the caller's thread (false). Results are identical either way —
-     * replicas share no mutable state — so this only trades wall-clock
-     * speed against debuggability.
+     * the caller's thread (false). With private CPU tiers results are
+     * identical either way — replicas share no mutable state — so it
+     * only trades wall-clock speed against debuggability. With
+     * shareCpuTier the tier's population order follows host thread
+     * scheduling, so only sequential runs are reproducible.
      */
     bool parallel = true;
+    /**
+     * Share one mutex-guarded CPU DRAM tier (runtime/memory_tier.h
+     * SharedCpuTier) across all replicas — one physical host DRAM
+     * behind the cluster — so an expert evicted by one replica is a
+     * DRAM hit for its siblings. Replaces each replica's private
+     * cache tier.
+     */
+    bool shareCpuTier = false;
+    /**
+     * Capacity of the shared tier; 0 derives the sum of the replicas'
+     * cpuCacheBytes (same total DRAM as the private split).
+     */
+    std::int64_t sharedCpuTierBytes = 0;
     std::vector<ReplicaSpec> replicas;
 };
 
@@ -98,6 +115,16 @@ ClusterConfig homogeneousCluster(const CoServeContext &ctx,
                                  const EngineConfig &cfg,
                                  int numReplicas, RoutingPolicy routing,
                                  std::string label = "cluster");
+
+/**
+ * Convenience: a heterogeneous cluster from explicit (context, config)
+ * replica specs — mixed devices, one CoE model cluster-wide. The
+ * routers see each replica's own DeviceSpec, so least-loaded balancing
+ * accounts for per-device speed differences.
+ */
+ClusterConfig heterogeneousCluster(std::vector<ReplicaSpec> replicas,
+                                   RoutingPolicy routing,
+                                   std::string label = "hetero-cluster");
 
 } // namespace coserve
 

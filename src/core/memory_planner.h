@@ -4,7 +4,9 @@
  * (paper Section 4.4, Equations 1-3, Figures 11 and 18).
  *
  * The planner decides how much memory to dedicate to resident experts
- * versus batch intermediate results. On low-compute processors the
+ * versus batch intermediate results — i.e. it sizes the GPU level of
+ * the memory-tier hierarchy (runtime/memory_tier.h); the tiers below
+ * (CPU DRAM cache, disk) absorb whatever the chosen window evicts. On low-compute processors the
  * maximum batch size is small, so the batch workspace is sized for it
  * and the rest goes to experts. On high-compute processors the planner
  * slides a decaying window over the expert-usage CDF: at each window's

@@ -5,7 +5,7 @@
 namespace coserve {
 
 bool
-TwoStageEviction::lacksPreliminary(ExpertId e, const ModelPool &pool,
+TwoStageEviction::lacksPreliminary(ExpertId e, const MemoryTier &pool,
                                    const EvictionContext &ctx)
 {
     if (!ctx.deps->isSubsequent(e))
@@ -18,7 +18,7 @@ TwoStageEviction::lacksPreliminary(ExpertId e, const ModelPool &pool,
 }
 
 std::optional<ExpertId>
-TwoStageEviction::selectVictim(const ModelPool &pool,
+TwoStageEviction::selectVictim(const MemoryTier &pool,
                                const EvictionContext &ctx)
 {
     COSERVE_CHECK(ctx.deps != nullptr && ctx.usage != nullptr,

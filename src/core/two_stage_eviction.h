@@ -26,12 +26,12 @@ class TwoStageEviction : public EvictionPolicy
     const char *name() const override { return "two-stage"; }
 
     std::optional<ExpertId>
-    selectVictim(const ModelPool &pool, const EvictionContext &ctx)
+    selectVictim(const MemoryTier &pool, const EvictionContext &ctx)
         override;
 
   private:
     /** True when no preliminary expert of @p e is resident in @p pool. */
-    static bool lacksPreliminary(ExpertId e, const ModelPool &pool,
+    static bool lacksPreliminary(ExpertId e, const MemoryTier &pool,
                                  const EvictionContext &ctx);
 };
 

@@ -17,6 +17,31 @@ ClusterResult::imbalance() const
     return balanced > 0 ? static_cast<double>(maxImages) / balanced : 1.0;
 }
 
+const TierStats *
+findTierStats(const std::vector<TierStats> &tiers,
+              const std::string &name)
+{
+    for (const TierStats &t : tiers) {
+        if (t.name == name)
+            return &t;
+    }
+    return nullptr;
+}
+
+void
+mergeTierStats(std::vector<TierStats> &tiers, const TierStats &t)
+{
+    for (TierStats &existing : tiers) {
+        if (existing.name == t.name) {
+            existing.counters.merge(t.counters);
+            existing.capacityBytes += t.capacityBytes;
+            existing.usedBytes += t.usedBytes;
+            return;
+        }
+    }
+    tiers.push_back(t);
+}
+
 ClusterResult
 aggregateClusterResult(std::string label, std::string routing,
                        std::vector<RunResult> replicas)
@@ -33,6 +58,8 @@ aggregateClusterResult(std::string label, std::string routing,
         out.switches.merge(r.switches);
         for (double x : r.requestLatencyMs.raw())
             out.requestLatencyMs.add(x);
+        for (const TierStats &t : r.tiers)
+            mergeTierStats(out.tiers, t);
         out.imagesPerReplica.push_back(r.images);
     }
     out.throughput = out.makespan > 0

@@ -41,6 +41,15 @@ struct ClusterResult
     /** Switch counters merged over all replicas. */
     SwitchCounters switches;
 
+    /**
+     * Per-tier counters of the cluster's memory hierarchy: replica
+     * tiers merged by name (counters summed; capacity and occupancy
+     * summed across replicas), plus one entry per cluster-shared tier
+     * (shared = true, appended by ClusterEngine with its global
+     * counters).
+     */
+    std::vector<TierStats> tiers;
+
     /** End-to-end request latency (ms), merged over replicas. */
     Samples requestLatencyMs;
 
@@ -73,6 +82,16 @@ struct ClusterResult
 ClusterResult aggregateClusterResult(std::string label,
                                      std::string routing,
                                      std::vector<RunResult> replicas);
+
+/**
+ * Merge one tier snapshot into a cluster-wide list: same-name entries
+ * sum counters, capacity and occupancy; unseen names append.
+ */
+void mergeTierStats(std::vector<TierStats> &tiers, const TierStats &t);
+
+/** @return the tier snapshot named @p name, or null when absent. */
+const TierStats *findTierStats(const std::vector<TierStats> &tiers,
+                               const std::string &name);
 
 } // namespace coserve
 

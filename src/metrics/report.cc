@@ -27,6 +27,17 @@ summarize(const RunResult &r)
        << formatDouble(r.requestLatencyMs.percentile(99), 1)
        << " ms, scheduling "
        << formatDouble(r.schedulingWallUs.mean(), 2) << " us/decision\n";
+    for (const TierStats &t : r.tiers) {
+        os << "  tier " << t.name << " (" << t.level
+           << (t.shared ? ", shared" : "") << "): hit rate "
+           << formatPercent(t.hitRate()) << " (" << t.counters.hits
+           << "/" << t.counters.hits + t.counters.misses << "), "
+           << t.counters.evictions << " evictions, "
+           << formatBytes(t.usedBytes) << " of "
+           << (t.capacityBytes > 0 ? formatBytes(t.capacityBytes)
+                                   : std::string("unbounded"))
+           << " used\n";
+    }
     return os.str();
 }
 

@@ -43,6 +43,46 @@ struct SwitchCounters
     void merge(const SwitchCounters &o);
 };
 
+/** Access and movement counters of one memory tier. */
+struct TierCounters
+{
+    /** Accesses served by the tier (batch residency / load source). */
+    std::int64_t hits = 0;
+    /** Accesses the tier could not serve. */
+    std::int64_t misses = 0;
+    /** Experts evicted from the tier (demoted or dropped). */
+    std::int64_t evictions = 0;
+    /** Experts admitted (loads, demotions from above, preload). */
+    std::int64_t insertions = 0;
+
+    /** Accumulate @p o into this. */
+    void merge(const TierCounters &o);
+};
+
+/**
+ * Metrics snapshot of one memory tier (runtime/memory_tier.h): GPU
+ * pool, CPU executor pool, CPU DRAM cache tier or disk, identified by
+ * name. Cluster aggregation merges same-name snapshots across
+ * replicas; shared tiers (one physical tier behind many replicas) are
+ * appended once at cluster level instead.
+ */
+struct TierStats
+{
+    std::string name;
+    /** Storage level display name: "gpu", "cpu-dram" or "disk". */
+    std::string level;
+    /** True for a cross-replica shared tier. */
+    bool shared = false;
+    /** Configured capacity; 0 means unbounded (disk). */
+    std::int64_t capacityBytes = 0;
+    /** Bytes resident at snapshot time. */
+    std::int64_t usedBytes = 0;
+    TierCounters counters;
+
+    /** hits / (hits + misses); 0 when the tier saw no accesses. */
+    double hitRate() const;
+};
+
 /** Per-executor summary. */
 struct ExecutorStats
 {
@@ -73,6 +113,14 @@ struct RunResult
 
     SwitchCounters switches;
     std::vector<ExecutorStats> executors;
+
+    /**
+     * Per-tier hit / miss / eviction counters of the run's memory
+     * hierarchy (GPU pool, CPU pool, CPU DRAM cache tier, disk).
+     * Cluster-shared tiers are excluded here — the engine does not own
+     * them — and reported once in ClusterResult::tiers.
+     */
+    std::vector<TierStats> tiers;
 
     /** Per-request end-to-end latency (ms), arrival to completion. */
     Samples requestLatencyMs;

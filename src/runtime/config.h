@@ -23,6 +23,8 @@
 
 namespace coserve {
 
+class TierBelow; // runtime/memory_tier.h
+
 /** Memory layout of one inference executor. */
 struct ExecutorConfig
 {
@@ -44,6 +46,13 @@ struct EngineConfig
     bool cpuCacheTier = false;
     /** Capacity of the cache tier. */
     std::int64_t cpuCacheBytes = 0;
+
+    /**
+     * External CPU DRAM tier to use instead of the engine's private
+     * cache tier (a cluster-owned SharedCpuTier; not owned, must
+     * outlive the engine). Overrides cpuCacheTier / cpuCacheBytes.
+     */
+    TierBelow *externalCpuTier = nullptr;
 
     /** Overlap the next expert's load with the running batch (§4.2). */
     bool prefetch = true;

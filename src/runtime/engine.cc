@@ -18,12 +18,23 @@ ServingEngine::ServingEngine(EngineConfig cfg, const CoEModel &model,
     : cfg_(std::move(cfg)), model_(model), truth_(truth),
       footprint_(footprint), usage_(usage), deps_(model),
       transfer_(cfg_.device),
-      cpuCache_(cfg_.cpuCacheTier ? cfg_.cpuCacheBytes : 0),
+      cpuCache_("cpu.cache",
+                (cfg_.cpuCacheTier && cfg_.externalCpuTier == nullptr)
+                    ? cfg_.cpuCacheBytes
+                    : 0,
+                TierLevel::CpuDram),
       scheduler_(std::move(scheduler)), eviction_(std::move(eviction))
 {
     COSERVE_CHECK(scheduler_ != nullptr, "engine needs a scheduler");
     COSERVE_CHECK(eviction_ != nullptr, "engine needs an eviction policy");
     validate();
+
+    // Assemble the tier hierarchy: the CPU DRAM cache tier is either
+    // this engine's private tier or a cluster-shared one, and spills
+    // into the disk tier; the GPU pool links onto it below.
+    cpuTier_ = cfg_.externalCpuTier != nullptr ? cfg_.externalCpuTier
+                                               : &cpuCache_;
+    cpuCache_.linkBelow(&disk_);
 
     // Storage channel: SSD read + host deserialization, serialized.
     // We hand the channel a combined effective bandwidth so that
@@ -50,10 +61,17 @@ ServingEngine::ServingEngine(EngineConfig cfg, const CoEModel &model,
         (ec.kind == ProcKind::GPU ? gpuPoolBytes : cpuPoolBytes) +=
             ec.poolBytes;
     }
-    if (gpuPoolBytes > 0)
-        gpuPool_ = std::make_unique<ModelPool>("gpu.pool", gpuPoolBytes);
-    if (cpuPoolBytes > 0)
-        cpuPool_ = std::make_unique<ModelPool>("cpu.pool", cpuPoolBytes);
+    if (gpuPoolBytes > 0) {
+        gpuPool_ = std::make_unique<ModelPool>("gpu.pool", gpuPoolBytes,
+                                               TierLevel::Gpu);
+        gpuPool_->linkBelow(cpuTier_);
+    }
+    if (cpuPoolBytes > 0) {
+        // CPU executor pool: same DRAM as the cache tier; evictions
+        // drop straight to disk (the copy is already the DRAM copy).
+        cpuPool_ = std::make_unique<ModelPool>("cpu.pool", cpuPoolBytes,
+                                               TierLevel::CpuDram);
+    }
 
     // Memory-pressure slowdown of GPU loads: fraction of GPU memory
     // held by resident experts vs. batch workspace.
@@ -150,7 +168,7 @@ ServingEngine::predictLoadTime(std::size_t i, ExpertId e) const
     if (exec.kind() == ProcKind::CPU) {
         // An expert cached in CPU DRAM is already executable by a CPU
         // executor — adopting it is (nearly) free.
-        if (cpuCache_.capacityBytes() > 0 && cpuCache_.contains(e))
+        if (cpuTier_->holds(e))
             return cfg_.device.linkFixedLatency;
         return transfer_.loadToCpu(bytes);
     }
@@ -163,10 +181,11 @@ ServingEngine::predictLoadTime(std::size_t i, ExpertId e) const
 LoadSource
 ServingEngine::gpuLoadSource(ExpertId e) const
 {
-    // Experts already materialized in CPU DRAM — either in the explicit
-    // cache tier or resident in a CPU executor's pool — only need the
-    // device-handoff leg (PCIe + reorganization), not the SSD read.
-    if (cpuCache_.capacityBytes() > 0 && cpuCache_.contains(e))
+    // Experts already materialized in CPU DRAM — either in the cache
+    // tier below the GPU pool or resident in a CPU executor's pool —
+    // only need the device-handoff leg (PCIe + reorganization), not
+    // the SSD read.
+    if (cpuTier_->holds(e))
         return LoadSource::CpuCache;
     if (cpuPool_ && cpuPool_->resident(e))
         return LoadSource::CpuCache;
@@ -211,7 +230,7 @@ ServingEngine::startLoad(Executor &exec, ExpertId e, bool isPrefetch)
     if (isPrefetch) {
         const bool needsStorage =
             exec.kind() == ProcKind::CPU
-                ? !(cpuCache_.capacityBytes() > 0 && cpuCache_.contains(e))
+                ? !cpuTier_->holds(e)
                 : gpuLoadSource(e) == LoadSource::Ssd;
         if (needsStorage && storage_->busyUntil() > eq_.now())
             return false;
@@ -234,33 +253,45 @@ ServingEngine::startLoad(Executor &exec, ExpertId e, bool isPrefetch)
                           pool.name());
             return false;
         }
-        const std::int64_t victimBytes = pool.entry(*victim).bytes;
-        pool.erase(*victim);
+        // Eviction walks the hierarchy: a GPU-pool victim demotes into
+        // the CPU DRAM tier below (which may spill to disk); CPU-pool
+        // victims have no below link and are dropped.
+        const bool demoted = pool.evict(*victim, eq_.now());
         for (const auto &peer : executors_) {
             if (peer->kind() == exec.kind())
                 peer->clearSoftPinIf(*victim);
         }
         sc.evictions += 1;
-        if (cpuCache_.capacityBytes() > 0 &&
-            exec.kind() == ProcKind::GPU) {
-            cpuCache_.insert(*victim, victimBytes, eq_.now());
+        if (demoted)
             sc.demotions += 1;
-        }
     }
 
+    pool.noteMiss();
     pool.beginLoad(e, bytes, ++loadSeq_);
 
-    const bool cacheResident =
-        cpuCache_.capacityBytes() > 0 && cpuCache_.contains(e);
-    const bool fromCache =
-        exec.kind() == ProcKind::GPU
-            ? gpuLoadSource(e) == LoadSource::CpuCache
-            : cacheResident;
+    // Snapshot the DRAM lookups once: a cluster-shared tier may be
+    // mutated by sibling replicas between calls, and the source
+    // decision, the counters and the channel choice below must all
+    // agree on one view.
+    const bool cacheResident = cpuTier_->holds(e);
+    const bool inCpuPool = cpuPool_ != nullptr && cpuPool_->resident(e);
+    const bool fromCache = exec.kind() == ProcKind::GPU
+                               ? (cacheResident || inCpuPool)
+                               : cacheResident;
     if (fromCache) {
         sc.loadsFromCache += 1;
-        cpuCache_.touch(e, eq_.now());
+        if (cacheResident) {
+            cpuTier_->noteHit();
+            cpuTier_->refresh(e, eq_.now());
+        } else {
+            // GPU load adopted from a CPU executor pool's DRAM copy.
+            cpuPool_->noteHit();
+        }
     } else {
         sc.loadsFromSsd += 1;
+        if (cpuTier_->enabled())
+            cpuTier_->noteMiss();
+        disk_.noteHit();
     }
     if (isPrefetch)
         sc.prefetchLoads += 1;
@@ -269,8 +300,8 @@ ServingEngine::startLoad(Executor &exec, ExpertId e, bool isPrefetch)
     auto finish = [this, &exec, e, bytes, fromCache, isPrefetch]() {
         // Loads from SSD pass through CPU DRAM for deserialization;
         // the materialized copy stays in the cache tier when present.
-        if (!fromCache && cpuCache_.capacityBytes() > 0)
-            cpuCache_.insert(e, bytes, eq_.now());
+        if (!fromCache && cpuTier_->enabled())
+            cpuTier_->admit(e, bytes, eq_.now());
         exec.mutablePool().finishLoad(e, eq_.now());
         exec.onLoadFinished(e, isPrefetch);
         // The pool is shared: peers of the same kind may have been
@@ -388,14 +419,15 @@ ServingEngine::preload()
         if (!placed)
             overflow.push_back(e);
     }
-    // Remaining experts warm the CPU cache tier when present.
+    // Remaining experts warm the CPU DRAM tier when present (never
+    // evicting what an earlier warm — or, for a cluster-shared tier, a
+    // sibling replica — already placed).
     for (ExpertId e : overflow) {
-        if (cpuCache_.capacityBytes() == 0)
+        if (!cpuTier_->enabled())
             break;
         const std::int64_t bytes = footprint_.expertBytes(archOf(e));
-        if (cpuCache_.usedBytes() + bytes > cpuCache_.capacityBytes())
+        if (!cpuTier_->warm(e, bytes))
             break;
-        cpuCache_.insert(e, bytes, 0);
     }
 }
 
@@ -446,6 +478,16 @@ ServingEngine::run(const Trace &trace)
         result_.switches.merge(st.switches);
         result_.executors.push_back(std::move(st));
     }
+
+    // Per-tier counters, top to bottom. A cluster-shared CPU tier is
+    // owned (and reported) by the cluster, not by this engine.
+    if (gpuPool_)
+        result_.tiers.push_back(gpuPool_->stats());
+    if (cpuPool_)
+        result_.tiers.push_back(cpuPool_->stats());
+    if (cfg_.externalCpuTier == nullptr && cpuCache_.enabled())
+        result_.tiers.push_back(cpuCache_.stats());
+    result_.tiers.push_back(disk_.stats());
     return result_;
 }
 

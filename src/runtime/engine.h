@@ -20,8 +20,8 @@
 #include "metrics/run_result.h"
 #include "model/footprint_model.h"
 #include "model/latency_model.h"
-#include "runtime/cpu_cache.h"
 #include "runtime/executor.h"
+#include "runtime/memory_tier.h"
 #include "runtime/policies.h"
 #include "sim/channel.h"
 #include "sim/event_queue.h"
@@ -159,11 +159,21 @@ class ServingEngine
     TransferModel transfer_;
     std::unique_ptr<BandwidthChannel> storage_;
     std::unique_ptr<BandwidthChannel> link_;
-    /** Shared model pools, one per processor kind present. */
+    /**
+     * The memory-tier hierarchy. Executors of the same kind share one
+     * pool tier (one GPU memory, one CPU DRAM). The GPU pool links
+     * down to the CPU DRAM cache tier (private cpuCache_, or the
+     * cluster's shared tier per EngineConfig::externalCpuTier), which
+     * links down to the disk tier: evictions demote along the links.
+     */
     std::unique_ptr<ModelPool> gpuPool_;
     std::unique_ptr<ModelPool> cpuPool_;
     std::vector<std::unique_ptr<Executor>> executors_;
-    LruByteCache cpuCache_;
+    /** Private CPU DRAM cache tier (disabled when external is set). */
+    MemoryTier cpuCache_;
+    DiskTier disk_;
+    /** CPU DRAM cache tier in use: &cpuCache_ or the external tier. */
+    TierBelow *cpuTier_ = nullptr;
 
     std::unique_ptr<Scheduler> scheduler_;
     std::unique_ptr<EvictionPolicy> eviction_;

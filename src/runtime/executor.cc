@@ -78,6 +78,10 @@ Executor::startBatch()
         softPinned_ = kNoExpert;
     }
 
+    // One residency access per batch: the head expert was found
+    // resident in this executor's tier.
+    pool_.noteHit();
+
     const auto n = static_cast<int>(batchScratch_.size());
     const Time latency = engine_.truth().batchLatency(arch, cfg_.kind, n);
     executing_ = true;

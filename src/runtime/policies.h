@@ -14,14 +14,19 @@
 
 #include "coe/dependency.h"
 #include "coe/usage.h"
-#include "runtime/pool.h"
+#include "runtime/memory_tier.h"
 #include "workload/request.h"
 
 namespace coserve {
 
 class ServingEngine;
 
-/** Context handed to eviction policies. */
+/**
+ * Context handed to eviction policies. When a policy drives a tier's
+ * cache-style self-eviction (MemoryTier::insert making room), only
+ * @ref now is populated — model / dependency / usage information is an
+ * engine-level concern.
+ */
 struct EvictionContext
 {
     const CoEModel *model = nullptr;
@@ -35,7 +40,7 @@ struct EvictionContext
     bool allowSoftPinned = true;
 };
 
-/** Chooses which resident expert to evict next. */
+/** Chooses which resident expert to evict next from a memory tier. */
 class EvictionPolicy
 {
   public:
@@ -45,19 +50,19 @@ class EvictionPolicy
     virtual const char *name() const = 0;
 
     /**
-     * Select one victim among evictable pool entries (resident, not
+     * Select one victim among evictable tier entries (resident, not
      * hard-pinned, soft-pin honored per @p ctx). Called repeatedly
      * until enough bytes are free.
      *
      * @return the victim, or nullopt when nothing is evictable.
      */
     virtual std::optional<ExpertId>
-    selectVictim(const ModelPool &pool, const EvictionContext &ctx) = 0;
+    selectVictim(const MemoryTier &pool, const EvictionContext &ctx) = 0;
 
   protected:
     /** @return true when @p entry may be evicted under @p ctx. */
     static bool
-    evictable(const PoolEntry &entry, const EvictionContext &ctx)
+    evictable(const TierEntry &entry, const EvictionContext &ctx)
     {
         if (entry.loading || entry.pins > 0)
             return false;

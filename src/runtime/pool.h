@@ -2,119 +2,25 @@
  * @file
  * Model pool: the expert residency set of one inference executor.
  *
- * Tracks which experts are resident (or in flight), their byte sizes,
- * LRU/FIFO bookkeeping for the baseline eviction policies, and pin
- * state. Pins protect experts the executor is about to use:
- *  - hard pins: the expert is executing or being loaded — never evict;
- *  - soft pins: the expert was prefetched for an upcoming batch —
- *    evictable only by a demand load that cannot proceed otherwise.
+ * Historically its own class; now one level of the unified memory-tier
+ * hierarchy (runtime/memory_tier.h). ModelPool is the tier an executor
+ * draws experts from — the GPU tier for GPU executors, the CPU DRAM
+ * tier for CPU executors — kept as an alias so policies, schedulers
+ * and tests keep reading naturally.
  */
 
 #ifndef COSERVE_RUNTIME_POOL_H
 #define COSERVE_RUNTIME_POOL_H
 
-#include <cstdint>
-#include <string>
-#include <unordered_map>
-
-#include "model/expert.h"
-#include "util/time.h"
+#include "runtime/memory_tier.h"
 
 namespace coserve {
 
 /** Bookkeeping for one pooled expert. */
-struct PoolEntry
-{
-    std::int64_t bytes = 0;
-    /** Completion time of the last batch that used this expert. */
-    Time lastUse = 0;
-    /** Number of times the expert was touched (LFU bookkeeping). */
-    std::int64_t uses = 0;
-    /** Monotonic load sequence number (FIFO eviction order). */
-    std::uint64_t loadSeq = 0;
-    /** Hard pin count (executing / loading). */
-    int pins = 0;
-    /** True while the load transfer is still in flight. */
-    bool loading = false;
-    /** Soft (prefetch) pin. */
-    bool softPinned = false;
-};
+using PoolEntry = TierEntry;
 
-/** Byte-capacity-bounded expert residency set. */
-class ModelPool
-{
-  public:
-    /**
-     * @param name diagnostic name, e.g. "gpu0".
-     * @param capacityBytes maximum resident expert bytes (> 0).
-     */
-    ModelPool(std::string name, std::int64_t capacityBytes);
-
-    /** @return true when @p e is resident or loading. */
-    bool contains(ExpertId e) const { return entries_.count(e) > 0; }
-
-    /** @return true when @p e is resident and ready to execute. */
-    bool resident(ExpertId e) const;
-
-    /** @return true when @p e has a load in flight. */
-    bool loading(ExpertId e) const;
-
-    /** Reserve space and mark @p e loading. Space must be available. */
-    void beginLoad(ExpertId e, std::int64_t bytes, std::uint64_t seq);
-
-    /** Mark a previously loading expert resident. */
-    void finishLoad(ExpertId e, Time now);
-
-    /** Insert an already-materialized expert (initial preload). */
-    void insertResident(ExpertId e, std::int64_t bytes, std::uint64_t seq,
-                        Time now);
-
-    /** Remove @p e entirely (eviction). Must not be hard-pinned. */
-    void erase(ExpertId e);
-
-    /** Update LRU bookkeeping after a batch used @p e. */
-    void touch(ExpertId e, Time now);
-
-    /** Hard-pin / unpin @p e. */
-    void pin(ExpertId e);
-    void unpin(ExpertId e);
-
-    /** Soft-pin (prefetch) / release. */
-    void softPin(ExpertId e);
-    void softUnpin(ExpertId e);
-
-    /** @return entry for @p e; panics when absent. */
-    const PoolEntry &entry(ExpertId e) const;
-
-    /** @return all entries (iteration order unspecified). */
-    const std::unordered_map<ExpertId, PoolEntry> &entries() const
-    {
-        return entries_;
-    }
-
-    /** @return configured capacity in bytes. */
-    std::int64_t capacityBytes() const { return capacity_; }
-
-    /** @return bytes used (resident + reserved by loads). */
-    std::int64_t usedBytes() const { return used_; }
-
-    /** @return capacity - used. */
-    std::int64_t freeBytes() const { return capacity_ - used_; }
-
-    /** @return number of pooled experts (incl. loading). */
-    std::size_t count() const { return entries_.size(); }
-
-    /** @return diagnostic name. */
-    const std::string &name() const { return name_; }
-
-  private:
-    PoolEntry &mutableEntry(ExpertId e);
-
-    std::string name_;
-    std::int64_t capacity_;
-    std::int64_t used_ = 0;
-    std::unordered_map<ExpertId, PoolEntry> entries_;
-};
+/** Byte-capacity-bounded expert residency set (a memory tier). */
+using ModelPool = MemoryTier;
 
 } // namespace coserve
 

@@ -1,12 +1,16 @@
 /**
  * @file
- * Unit tests for ModelPool, RequestQueue and LruByteCache — the state
- * machines the serving runtime is built from.
+ * Unit tests for ModelPool, RequestQueue and the cache-style MemoryTier
+ * role (the former LruByteCache) — the state machines the serving
+ * runtime is built from. Hierarchy-level behavior (cascades, shared
+ * tiers, counters) lives in test_memory_tiers.cc.
  */
 
 #include <gtest/gtest.h>
 
-#include "runtime/cpu_cache.h"
+#include <memory>
+
+#include "runtime/policies.h"
 #include "runtime/pool.h"
 #include "runtime/queue.h"
 #include "util/rng.h"
@@ -205,9 +209,9 @@ TEST(RequestQueueTest, GroupsStayContiguousUnderGroupedInsertion)
     }
 }
 
-TEST(LruByteCacheTest, InsertAndEvictLru)
+TEST(CpuTierTest, InsertAndEvictLru)
 {
-    LruByteCache cache(100 * kMB);
+    MemoryTier cache("c", 100 * kMB, TierLevel::CpuDram);
     cache.insert(1, 40 * kMB, 10);
     cache.insert(2, 40 * kMB, 20);
     cache.insert(3, 40 * kMB, 30); // evicts 1 (oldest)
@@ -217,39 +221,114 @@ TEST(LruByteCacheTest, InsertAndEvictLru)
     EXPECT_EQ(cache.evictions(), 1);
 }
 
-TEST(LruByteCacheTest, TouchRefreshesRecency)
+TEST(CpuTierTest, RefreshUpdatesRecency)
 {
-    LruByteCache cache(100 * kMB);
+    MemoryTier cache("c", 100 * kMB, TierLevel::CpuDram);
     cache.insert(1, 40 * kMB, 10);
     cache.insert(2, 40 * kMB, 20);
-    cache.touch(1, 30);
+    cache.refresh(1, 30);
     cache.insert(3, 40 * kMB, 40); // now 2 is oldest
     EXPECT_TRUE(cache.contains(1));
     EXPECT_FALSE(cache.contains(2));
+    cache.refresh(99, 50); // absent: no-op
 }
 
-TEST(LruByteCacheTest, DisabledCacheIgnoresInserts)
+TEST(CpuTierTest, DisabledTierIgnoresInserts)
 {
-    LruByteCache cache(0);
+    MemoryTier cache("c", 0, TierLevel::CpuDram);
+    EXPECT_FALSE(cache.enabled());
     cache.insert(1, kMB, 0);
     EXPECT_FALSE(cache.contains(1));
+    EXPECT_FALSE(cache.holds(1));
     EXPECT_EQ(cache.usedBytes(), 0);
 }
 
-TEST(LruByteCacheTest, OversizedEntryIgnored)
+TEST(CpuTierTest, OversizedEntryIgnored)
 {
-    LruByteCache cache(10 * kMB);
+    MemoryTier cache("c", 10 * kMB, TierLevel::CpuDram);
     cache.insert(1, 20 * kMB, 0);
     EXPECT_FALSE(cache.contains(1));
 }
 
-TEST(LruByteCacheTest, EraseFreesBytes)
+TEST(CpuTierTest, NonPositiveSizeRejected)
 {
-    LruByteCache cache(100 * kMB);
+    MemoryTier cache("c", 10 * kMB, TierLevel::CpuDram);
+    cache.insert(1, 0, 0);
+    cache.insert(2, -5, 0);
+    EXPECT_EQ(cache.count(), 0u);
+    EXPECT_EQ(cache.usedBytes(), 0);
+}
+
+TEST(CpuTierTest, ReinsertUpdatesSizeWithoutDoubleCount)
+{
+    MemoryTier cache("c", 100 * kMB, TierLevel::CpuDram);
+    cache.insert(1, 40 * kMB, 10);
+    cache.insert(1, 40 * kMB, 20); // same size: recency only
+    EXPECT_EQ(cache.usedBytes(), 40 * kMB);
+    EXPECT_EQ(cache.entry(1).lastUse, 20);
+    cache.insert(1, 60 * kMB, 30); // grew
+    EXPECT_EQ(cache.usedBytes(), 60 * kMB);
+    cache.insert(1, 10 * kMB, 40); // shrank
+    EXPECT_EQ(cache.usedBytes(), 10 * kMB);
+    EXPECT_EQ(cache.count(), 1u);
+}
+
+TEST(CpuTierTest, ReinsertGrowthEvictsOthersNotItself)
+{
+    MemoryTier cache("c", 100 * kMB, TierLevel::CpuDram);
+    cache.insert(1, 30 * kMB, 10);
+    cache.insert(2, 30 * kMB, 20);
+    cache.insert(3, 30 * kMB, 30);
+    cache.insert(3, 80 * kMB, 40); // growth forces out 1 and 2
+    EXPECT_TRUE(cache.contains(3));
+    EXPECT_EQ(cache.entry(3).bytes, 80 * kMB);
+    EXPECT_FALSE(cache.contains(1));
+    EXPECT_FALSE(cache.contains(2));
+    EXPECT_EQ(cache.usedBytes(), 80 * kMB);
+}
+
+TEST(CpuTierTest, EraseFreesBytes)
+{
+    MemoryTier cache("c", 100 * kMB, TierLevel::CpuDram);
     cache.insert(1, 40 * kMB, 0);
     cache.erase(1);
     EXPECT_EQ(cache.usedBytes(), 0);
-    cache.erase(1); // absent: no-op
+    EXPECT_FALSE(cache.contains(1));
+}
+
+TEST(CpuTierTest, PluggableEvictionPolicy)
+{
+    // A FIFO-by-loadSeq tier: recency no longer decides the victim.
+    struct FifoByInsert : EvictionPolicy
+    {
+        const char *name() const override { return "fifo-test"; }
+        std::optional<ExpertId>
+        selectVictim(const MemoryTier &pool,
+                     const EvictionContext &ctx) override
+        {
+            std::optional<ExpertId> victim;
+            Time oldest = kTimeNever;
+            for (const auto &[id, entry] : pool.entries()) {
+                if (!evictable(entry, ctx))
+                    continue;
+                // Victim = smallest id (deterministic, non-LRU).
+                if (!victim || id < *victim) {
+                    victim = id;
+                    oldest = entry.lastUse;
+                }
+            }
+            (void)oldest;
+            return victim;
+        }
+    };
+    MemoryTier cache("c", 100 * kMB, TierLevel::CpuDram);
+    cache.setEvictionPolicy(std::make_unique<FifoByInsert>());
+    cache.insert(1, 40 * kMB, 50); // most recent...
+    cache.insert(2, 40 * kMB, 10);
+    cache.insert(3, 40 * kMB, 20); // ...but 1 is still the victim
+    EXPECT_FALSE(cache.contains(1));
+    EXPECT_TRUE(cache.contains(2));
+    EXPECT_TRUE(cache.contains(3));
 }
 
 } // namespace

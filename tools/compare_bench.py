@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Compare a BENCH_perf.json run against the committed baseline.
+
+Warns (never fails) when a scenario's events_per_sec regresses by more
+than the threshold vs. bench/BENCH_baseline.json — CI machines are too
+noisy for a hard perf gate, but a >25% drop on every scenario is worth
+a look. Emits GitHub Actions ``::warning::`` annotations so the drop is
+visible on the workflow run without breaking the build.
+
+Usage: compare_bench.py BASELINE CURRENT [--threshold 0.25]
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="bench/BENCH_baseline.json")
+    parser.add_argument("current", help="freshly produced BENCH_perf.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="warn when events/sec drops by more than this fraction",
+    )
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.current) as f:
+        current = json.load(f)
+
+    regressions = 0
+    for scenario, base in sorted(baseline.items()):
+        base_eps = base.get("events_per_sec")
+        cur = current.get(scenario)
+        if base_eps is None:
+            continue
+        if cur is None or "events_per_sec" not in cur:
+            print(f"::warning::perf scenario '{scenario}' missing from "
+                  f"{args.current}")
+            regressions += 1
+            continue
+        cur_eps = cur["events_per_sec"]
+        delta = (cur_eps - base_eps) / base_eps
+        marker = ""
+        if delta < -args.threshold:
+            print(f"::warning::perf regression in '{scenario}': "
+                  f"{cur_eps:,.0f} events/s vs baseline "
+                  f"{base_eps:,.0f} ({delta:+.1%}, threshold "
+                  f"-{args.threshold:.0%})")
+            regressions += 1
+            marker = "  <-- regression"
+        print(f"{scenario}: {cur_eps:,.0f} events/s "
+              f"(baseline {base_eps:,.0f}, {delta:+.1%}){marker}")
+
+    if regressions == 0:
+        print(f"all scenarios within {args.threshold:.0%} of baseline")
+    # Warn-only gate: always succeed.
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
