@@ -5,7 +5,9 @@
  * Builds a toy CoE model, runs the offline phase once, then serves a
  * saturating workload with 1 and 4 CoServe replicas behind the
  * least-loaded cluster dispatcher, printing the aggregate metrics and
- * the per-replica load split.
+ * the per-replica load split — first with static (route-then-shard)
+ * dispatch, then with the online coordinator (live-load routing +
+ * cross-replica work stealing).
  *
  *   ./cluster_quickstart
  */
@@ -14,6 +16,7 @@
 
 #include "cluster/cluster.h"
 #include "coe/board_builder.h"
+#include "metrics/report.h"
 #include "util/strutil.h"
 #include "workload/generator.h"
 
@@ -78,5 +81,18 @@ main()
 
     std::printf("\nscale-out speedup: %.2fx aggregate throughput\n",
                 four.throughput / one.throughput);
+
+    // 5. The same cluster with online scheduling: each arrival is
+    //    routed at its arrival time from live replica state, and idle
+    //    replicas steal queued work from backlogged siblings.
+    ClusterConfig online = homogeneousCluster(
+        ctx, cfg, 4, RoutingPolicy::LeastLoaded, "online-cluster");
+    online.onlineRouting = true;
+    online.workStealing = true;
+    ClusterEngine onlineCluster(std::move(online));
+    const ClusterResult live = onlineCluster.run(trace);
+    std::printf("\n%s", summarize(live).c_str());
+    std::printf("online vs static: %.2fx throughput\n",
+                live.throughput / four.throughput);
     return 0;
 }

@@ -32,17 +32,23 @@ ClusterEngine::ClusterEngine(ClusterConfig cfg) : cfg_(std::move(cfg))
     }
 }
 
-std::vector<std::size_t>
-ClusterEngine::routeTrace(const Trace &trace) const
+std::vector<ReplicaView>
+ClusterEngine::makeReplicaViews() const
 {
     std::vector<ReplicaView> views;
     views.reserve(cfg_.replicas.size());
     for (const ReplicaSpec &r : cfg_.replicas)
         views.push_back({r.ctx, &r.cfg});
+    return views;
+}
+
+std::vector<std::size_t>
+ClusterEngine::routeTrace(const Trace &trace) const
+{
     // All replicas serve the same CoE model; route by the first's.
     auto router = makeRouter(cfg_.routing,
                              cfg_.replicas.front().ctx->model(),
-                             std::move(views));
+                             makeReplicaViews());
 
     std::vector<std::size_t> assignment;
     assignment.reserve(trace.arrivals.size());
@@ -56,39 +62,57 @@ ClusterEngine::run(const Trace &trace)
 {
     COSERVE_CHECK(!ran_, "ClusterEngine instances are single-use");
     ran_ = true;
+    return cfg_.onlineRouting ? runOnline(trace) : runStatic(trace);
+}
 
+std::unique_ptr<SharedCpuTier>
+ClusterEngine::makeSharedCpuTier() const
+{
+    // One physical host DRAM behind all replicas: evictions from any
+    // replica's GPU pool demote into this tier, and any replica's
+    // loads may hit it. Lives only for the duration of the run.
+    if (!cfg_.shareCpuTier)
+        return nullptr;
+    std::int64_t cap = cfg_.sharedCpuTierBytes;
+    if (cap == 0) {
+        // Same total DRAM as the private split: only replicas
+        // whose private tier would actually be enabled contribute.
+        for (const ReplicaSpec &r : cfg_.replicas) {
+            if (r.cfg.cpuCacheTier)
+                cap += r.cfg.cpuCacheBytes;
+        }
+    }
+    COSERVE_CHECK(cap > 0, "shareCpuTier needs sharedCpuTierBytes ",
+                  "or replicas with an enabled cpuCacheTier");
+    return std::make_unique<SharedCpuTier>(cap);
+}
+
+void
+ClusterEngine::appendSharedTierStats(ClusterResult &out,
+                                     const SharedCpuTier *tier)
+{
+    // The shared tier is cluster-owned: replicas do not report it, so
+    // append its (cross-replica) counters once, and fold its disk
+    // spills into the cluster-wide disk entry (private-tier runs
+    // account the same spills through each engine's own disk tier).
+    if (tier == nullptr)
+        return;
+    out.tiers.push_back(tier->stats());
+    mergeTierStats(out.tiers, tier->diskStats());
+}
+
+ClusterResult
+ClusterEngine::runStatic(const Trace &trace)
+{
     const std::vector<std::size_t> assignment = routeTrace(trace);
     const std::vector<Trace> shards =
         shardTrace(trace, assignment, cfg_.replicas.size());
 
-    // One physical host DRAM behind all replicas: evictions from any
-    // replica's GPU pool demote into this tier, and any replica's
-    // loads may hit it. Lives only for the duration of the run.
-    std::unique_ptr<SharedCpuTier> sharedCpu;
-    if (cfg_.shareCpuTier) {
-        std::int64_t cap = cfg_.sharedCpuTierBytes;
-        if (cap == 0) {
-            // Same total DRAM as the private split: only replicas
-            // whose private tier would actually be enabled contribute.
-            for (const ReplicaSpec &r : cfg_.replicas) {
-                if (r.cfg.cpuCacheTier)
-                    cap += r.cfg.cpuCacheBytes;
-            }
-        }
-        COSERVE_CHECK(cap > 0, "shareCpuTier needs sharedCpuTierBytes ",
-                      "or replicas with an enabled cpuCacheTier");
-        sharedCpu = std::make_unique<SharedCpuTier>(cap);
-    }
+    std::unique_ptr<SharedCpuTier> sharedCpu = makeSharedCpuTier();
 
     const auto runReplica = [this, &shards, &sharedCpu](std::size_t i,
                                                         RunResult &out) {
-        const ReplicaSpec &spec = cfg_.replicas[i];
-        EngineConfig cfg = spec.cfg;
-        cfg.label = cfg_.label + "/replica" + std::to_string(i);
-        if (sharedCpu != nullptr)
-            cfg.externalCpuTier = sharedCpu.get();
-        auto engine = makeCoServeEngine(*spec.ctx, std::move(cfg));
-        out = engine->run(shards[i]);
+        out = makeReplicaEngine(i, sharedCpu.get())->run(shards[i]);
     };
 
     std::vector<RunResult> results(cfg_.replicas.size());
@@ -110,14 +134,210 @@ ClusterEngine::run(const Trace &trace)
         cfg_.label, toString(cfg_.routing), std::move(results));
     out.wallSeconds =
         std::chrono::duration<double>(wallEnd - wallStart).count();
-    // The shared tier is cluster-owned: replicas do not report it, so
-    // append its (cross-replica) counters once, and fold its disk
-    // spills into the cluster-wide disk entry (private-tier runs
-    // account the same spills through each engine's own disk tier).
-    if (sharedCpu != nullptr) {
-        out.tiers.push_back(sharedCpu->stats());
-        mergeTierStats(out.tiers, sharedCpu->diskStats());
+    appendSharedTierStats(out, sharedCpu.get());
+    return out;
+}
+
+std::unique_ptr<ServingEngine>
+ClusterEngine::makeReplicaEngine(std::size_t i,
+                                 SharedCpuTier *sharedCpu) const
+{
+    const ReplicaSpec &spec = cfg_.replicas[i];
+    EngineConfig cfg = spec.cfg;
+    cfg.label = cfg_.label + "/replica" + std::to_string(i);
+    if (sharedCpu != nullptr)
+        cfg.externalCpuTier = sharedCpu;
+    return makeCoServeEngine(*spec.ctx, std::move(cfg));
+}
+
+ClusterResult
+ClusterEngine::runOnline(const Trace &trace)
+{
+    const std::size_t n = cfg_.replicas.size();
+    std::unique_ptr<SharedCpuTier> sharedCpu = makeSharedCpuTier();
+
+    // Engine construction and preload count toward wallSeconds, as
+    // they do inside static mode's per-replica threads — otherwise
+    // the modes' host-time comparison is skewed.
+    const auto wallStart = std::chrono::steady_clock::now();
+
+    // Build all replica engines up front; the coordinator steps them
+    // in lockstep, so — unlike static mode — they never run on their
+    // own threads and `parallel` is irrelevant.
+    std::vector<std::unique_ptr<ServingEngine>> engines;
+    engines.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        engines.push_back(makeReplicaEngine(i, sharedCpu.get()));
+        // Disjoint strided id spaces: stolen requests keep their id,
+        // so ids must stay unique cluster-wide.
+        engines.back()->beginOnline(static_cast<RequestId>(i),
+                                    static_cast<RequestId>(n));
     }
+
+    const std::vector<ReplicaView> views = makeReplicaViews();
+    auto router = makeRouter(cfg_.routing,
+                             cfg_.replicas.front().ctx->model(), views);
+
+    std::vector<ReplicaLoadView> live(n);
+    // Snapshots are rebuilt lazily: a replica's observable state only
+    // changes when it executes events or accepts a request, so clean
+    // views are reused across arrivals (the clock-only staleness of
+    // `now` is absorbed by the routers' max(arrival.time, ...)).
+    std::vector<char> dirty(n, 1);
+    const auto refreshViews = [&]() {
+        for (std::size_t i = 0; i < n; ++i) {
+            if (dirty[i]) {
+                engines[i]->fillLoadView(live[i]);
+                dirty[i] = 0;
+            }
+        }
+    };
+
+    // A thief may only steal requests its context can serve: on a
+    // heterogeneous cluster a replica may never have been profiled
+    // for some architecture, and dispatching such a request there
+    // aborts deep in the scheduler's estimate. Same capability rule
+    // the routers apply (router.h) — and like routing, a stolen
+    // classify request brings its whole chain, so the thief must also
+    // serve the detect child it may spawn.
+    const CoEModel &model = cfg_.replicas.front().ctx->model();
+    std::vector<RequestQueue::StealFilter> canServe(n);
+    if (cfg_.workStealing) {
+        for (std::size_t i = 0; i < n; ++i) {
+            canServe[i] = [&model,
+                           view = views[i]](const Request &req) {
+                if (req.stage == Stage::Classify)
+                    return chainCapable(view, model, req.component);
+                return capable(view, model.expert(req.expert).arch);
+            };
+        }
+    }
+
+    std::vector<std::int64_t> stolenFrom(n, 0), stolenTo(n, 0);
+    std::vector<Request> stealBuf;
+    const auto maybeSteal = [&]() {
+        // An idle replica raids the most backlogged sibling whose
+        // queued-but-unstarted count exceeds the threshold, taking
+        // half the backlog. The victim's *time* backlog must also
+        // dwarf a demand load — a thief almost always pays one switch
+        // for its loot, and stealing a trivial batch trades a ~5 ms/img
+        // backlog for a ~100 ms load. Deterministic: fixed iteration
+        // order on the shared clock.
+        bool anyIdle = false;
+        for (const auto &engine : engines)
+            anyIdle = anyIdle || engine->nextEventTime() == kTimeNever;
+        if (!anyIdle)
+            return; // common case: skip the full view refresh
+        refreshViews();
+        for (std::size_t thief = 0; thief < n; ++thief) {
+            if (!live[thief].idle)
+                continue;
+            std::size_t victim = n;
+            std::size_t depth = cfg_.stealBacklogThreshold;
+            for (std::size_t j = 0; j < n; ++j) {
+                if (j != thief && live[j].queueDepth > depth &&
+                    live[j].backlog > cfg_.stealMinBacklog) {
+                    depth = live[j].queueDepth;
+                    victim = j;
+                }
+            }
+            if (victim == n)
+                continue;
+            stealBuf.clear();
+            const std::size_t got = engines[victim]->stealRequests(
+                live[victim].queueDepth / 2, stealBuf,
+                canServe[thief]);
+            if (got == 0)
+                continue;
+            for (const Request &req : stealBuf)
+                engines[thief]->injectRequest(req);
+            stolenFrom[victim] += static_cast<std::int64_t>(got);
+            stolenTo[thief] += static_cast<std::int64_t>(got);
+            // Only the two parties' state changed.
+            engines[thief]->fillLoadView(live[thief]);
+            engines[victim]->fillLoadView(live[victim]);
+            dirty[thief] = 0;
+            dirty[victim] = 0;
+        }
+    };
+
+    // Lockstep coordination on the shared virtual clock: the next
+    // thing that happens cluster-wide is either the earliest pending
+    // replica event or the next arrival, whichever is earlier
+    // (arrivals win ties so routing sees state as of the arrival
+    // instant). Everything is driven by virtual time, so the schedule
+    // is reproducible by construction.
+    std::size_t next = 0;
+    Time lastArrival = 0;
+    for (;;) {
+        const Time tArr = next < trace.arrivals.size()
+                              ? trace.arrivals[next].time
+                              : kTimeNever;
+        if (tArr != kTimeNever) {
+            COSERVE_CHECK(tArr >= lastArrival,
+                          "online routing needs time-sorted arrivals");
+            lastArrival = tArr;
+        }
+        Time tEv = kTimeNever;
+        for (const auto &engine : engines)
+            tEv = std::min(tEv, engine->nextEventTime());
+        if (tArr == kTimeNever && tEv == kTimeNever)
+            break;
+
+        if (tArr <= tEv) {
+            // No replica event strictly precedes the arrival: advance
+            // every clock to the arrival instant and route it with
+            // live views (skipping the snapshot work for policies
+            // whose routeLive falls back to the offline route()).
+            for (std::size_t i = 0; i < n; ++i) {
+                if (engines[i]->stepUntil(tArr) > 0)
+                    dirty[i] = 1;
+            }
+            if (router->usesLiveViews())
+                refreshViews();
+            const std::size_t r =
+                router->routeLive(trace.arrivals[next], live);
+            COSERVE_CHECK(r < n, "router returned replica ", r);
+            engines[r]->admitArrival(trace.arrivals[next]);
+            // Execute the admission's dispatch now, so a same-time
+            // burst of arrivals sees each predecessor in the queues
+            // rather than racing into one replica.
+            engines[r]->stepUntil(tArr);
+            dirty[r] = 1;
+            ++next;
+        } else {
+            // Replica events precede the next arrival: execute the
+            // earliest round everywhere, then let idle replicas steal.
+            for (std::size_t i = 0; i < n; ++i) {
+                if (engines[i]->stepUntil(tEv) > 0)
+                    dirty[i] = 1;
+            }
+            if (cfg_.workStealing)
+                maybeSteal();
+        }
+    }
+    const auto wallEnd = std::chrono::steady_clock::now();
+
+    std::vector<RunResult> results(n);
+    std::int64_t images = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        results[i] = engines[i]->finishOnline();
+        images += results[i].images;
+    }
+    COSERVE_CHECK(images ==
+                      static_cast<std::int64_t>(trace.arrivals.size()),
+                  "lost images: ", images, " of ",
+                  trace.arrivals.size());
+
+    ClusterResult out = aggregateClusterResult(
+        cfg_.label, toString(cfg_.routing), std::move(results));
+    out.wallSeconds =
+        std::chrono::duration<double>(wallEnd - wallStart).count();
+    out.stolenFromReplica = std::move(stolenFrom);
+    out.stolenToReplica = std::move(stolenTo);
+    for (std::int64_t s : out.stolenFromReplica)
+        out.stolenRequests += s;
+    appendSharedTierStats(out, sharedCpu.get());
     return out;
 }
 

@@ -5,11 +5,18 @@
  * A ClusterEngine owns N replica descriptions — each with its own
  * DeviceSpec, offline CoServeContext, dependency-aware scheduler and
  * two-stage eviction policy, assembled through makeCoServeEngine — and
- * a cluster-level dispatcher (cluster/router.h). run() routes every
- * arrival to one replica, shards the trace, executes the replicas
- * concurrently on std::thread (each replica keeps its own
- * discrete-event queue; all shards stay on one shared virtual clock)
- * and merges the per-replica RunResults into a ClusterResult.
+ * a cluster-level dispatcher (cluster/router.h). Two execution modes:
+ *
+ *  - static (default): run() routes every arrival to one replica up
+ *    front, shards the trace, executes the replicas concurrently on
+ *    std::thread (each replica keeps its own discrete-event queue; all
+ *    shards stay on one shared virtual clock) and merges the
+ *    per-replica RunResults into a ClusterResult;
+ *  - online (ClusterConfig::onlineRouting): a coordinator steps all
+ *    replicas in lockstep on the shared virtual clock, routes each
+ *    arrival at its arrival time from live replica state, and — with
+ *    ClusterConfig::workStealing — re-routes queued-but-unstarted
+ *    requests from backlogged replicas to idle ones.
  *
  * This is the first scale-out axis on top of the paper's single-engine
  * system: the paper's techniques (§4.2–§4.4) act within a replica; the
@@ -73,6 +80,40 @@ struct ClusterConfig
      * cpuCacheBytes (same total DRAM as the private split).
      */
     std::int64_t sharedCpuTierBytes = 0;
+    /**
+     * Online cluster scheduling: instead of pre-routing the whole
+     * trace and running replica shards in isolation, a cluster-level
+     * coordinator steps all replicas in lockstep on the shared virtual
+     * clock and routes each arrival *at its arrival time* through the
+     * router's routeLive() overload, using live replica load views
+     * (queue depth, per-executor predicted finish, actual resident
+     * experts) instead of the router's private model.
+     *
+     * Deterministic by construction: coordination is driven purely by
+     * the shared virtual clock, so `parallel` is ignored and results
+     * are bit-identical regardless of it — including with shareCpuTier
+     * (the coordinator serializes all tier accesses).
+     */
+    bool onlineRouting = false;
+    /**
+     * Online mode only: when a replica's event queue goes idle while a
+     * sibling still has more than stealBacklogThreshold
+     * queued-but-unstarted requests, the coordinator re-routes half of
+     * the sibling's queued backlog to the idle replica. Counted in
+     * ClusterResult::stolenRequests / stolenFrom/ToReplica.
+     */
+    bool workStealing = false;
+    /** Backlog a sibling must exceed before an idle replica steals. */
+    std::size_t stealBacklogThreshold = 4;
+    /**
+     * The sibling's predicted backlog *time* (sum of its queues'
+     * scheduler estimates) must also exceed this before stealing: the
+     * thief almost always pays one demand load (~100 ms) for its
+     * loot, so the stolen half-backlog must amortize that load many
+     * times over or the steal slows the cluster down. ~2 s is the
+     * empirical break-even on the fig22 skewed sweep.
+     */
+    Time stealMinBacklog = seconds(2);
     std::vector<ReplicaSpec> replicas;
 };
 
@@ -103,6 +144,25 @@ class ClusterEngine
     ClusterResult run(const Trace &trace);
 
   private:
+    /** Static mode: route the whole trace offline, shard, run. */
+    ClusterResult runStatic(const Trace &trace);
+    /** Online mode: lockstep coordinator, live routing, stealing. */
+    ClusterResult runOnline(const Trace &trace);
+    /** Build the shared CPU tier when configured (else null). */
+    std::unique_ptr<SharedCpuTier> makeSharedCpuTier() const;
+    /** One router-facing view per replica, in replica order. */
+    std::vector<ReplicaView> makeReplicaViews() const;
+    /**
+     * Build replica @p i's engine (label suffixed, shared CPU tier
+     * attached when present) — the one construction path for both
+     * static and online modes.
+     */
+    std::unique_ptr<ServingEngine>
+    makeReplicaEngine(std::size_t i, SharedCpuTier *sharedCpu) const;
+    /** Fold shared-tier counters into @p out once, cluster-level. */
+    static void appendSharedTierStats(ClusterResult &out,
+                                      const SharedCpuTier *tier);
+
     ClusterConfig cfg_;
     bool ran_ = false;
 };

@@ -52,8 +52,14 @@ maxGpuActivation(const CoServeContext &ctx)
 CoServeContext::CoServeContext(const DeviceSpec &device,
                                const CoEModel &model,
                                ProfilerOptions profilerOpts)
-    : device_(device), model_(&model),
-      truth_(LatencyModel::calibrated(device)),
+    : CoServeContext(device, model, LatencyModel::calibrated(device),
+                     profilerOpts)
+{}
+
+CoServeContext::CoServeContext(const DeviceSpec &device,
+                               const CoEModel &model, LatencyModel truth,
+                               ProfilerOptions profilerOpts)
+    : device_(device), model_(&model), truth_(std::move(truth)),
       footprint_(FootprintModel::calibrated(device)),
       usage_(UsageProfile::exact(model))
 {

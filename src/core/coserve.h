@@ -39,6 +39,16 @@ class CoServeContext
     CoServeContext(const DeviceSpec &device, const CoEModel &model,
                    ProfilerOptions profilerOpts = {});
 
+    /**
+     * Offline phase against an explicit hardware truth instead of the
+     * calibrated table (custom hardware, tests). Pairs absent from
+     * @p truth are not profiled, so perf().has() is false for them —
+     * a replica built on such a context cannot serve those
+     * architectures and capability-aware routers must avoid it.
+     */
+    CoServeContext(const DeviceSpec &device, const CoEModel &model,
+                   LatencyModel truth, ProfilerOptions profilerOpts);
+
     const DeviceSpec &device() const { return device_; }
     const CoEModel &model() const { return *model_; }
     const LatencyModel &truth() const { return truth_; }

@@ -56,8 +56,24 @@ struct ClusterResult
     /** Per-replica results, indexed by replica id. */
     std::vector<RunResult> replicas;
 
-    /** Images routed to each replica (load-balance inspection). */
+    /**
+     * Images *completed on* each replica (load-balance inspection).
+     * With work stealing a stolen chain counts at the thief that
+     * finished it, not the replica it was originally routed to.
+     */
     std::vector<std::int64_t> imagesPerReplica;
+
+    /**
+     * Work-stealing accounting (online mode only; all zero/empty in
+     * static mode or with stealing off). Every stolen request leaves
+     * exactly one replica and enters exactly one other, so
+     * sum(stolenFromReplica) == sum(stolenToReplica) == stolenRequests.
+     */
+    std::int64_t stolenRequests = 0;
+    /** Requests stolen *from* each replica's queues. */
+    std::vector<std::int64_t> stolenFromReplica;
+    /** Requests re-routed *to* each replica. */
+    std::vector<std::int64_t> stolenToReplica;
 
     /**
      * Host wall-clock seconds spent executing the replicas (threaded

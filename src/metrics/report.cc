@@ -9,6 +9,27 @@
 
 namespace coserve {
 
+namespace {
+
+void
+appendTierLines(std::ostringstream &os,
+                const std::vector<TierStats> &tiers)
+{
+    for (const TierStats &t : tiers) {
+        os << "  tier " << t.name << " (" << t.level
+           << (t.shared ? ", shared" : "") << "): hit rate "
+           << formatPercent(t.hitRate()) << " (" << t.counters.hits
+           << "/" << t.counters.hits + t.counters.misses << "), "
+           << t.counters.evictions << " evictions, "
+           << formatBytes(t.usedBytes) << " of "
+           << (t.capacityBytes > 0 ? formatBytes(t.capacityBytes)
+                                   : std::string("unbounded"))
+           << " used\n";
+    }
+}
+
+} // namespace
+
 std::string
 summarize(const RunResult &r)
 {
@@ -27,17 +48,38 @@ summarize(const RunResult &r)
        << formatDouble(r.requestLatencyMs.percentile(99), 1)
        << " ms, scheduling "
        << formatDouble(r.schedulingWallUs.mean(), 2) << " us/decision\n";
-    for (const TierStats &t : r.tiers) {
-        os << "  tier " << t.name << " (" << t.level
-           << (t.shared ? ", shared" : "") << "): hit rate "
-           << formatPercent(t.hitRate()) << " (" << t.counters.hits
-           << "/" << t.counters.hits + t.counters.misses << "), "
-           << t.counters.evictions << " evictions, "
-           << formatBytes(t.usedBytes) << " of "
-           << (t.capacityBytes > 0 ? formatBytes(t.capacityBytes)
-                                   : std::string("unbounded"))
-           << " used\n";
+    appendTierLines(os, r.tiers);
+    return os.str();
+}
+
+std::string
+summarize(const ClusterResult &r)
+{
+    std::ostringstream os;
+    os << r.label << " [" << r.routing << "]: " << r.images
+       << " images (" << r.inferences << " inferences) in "
+       << formatTime(r.makespan) << "\n";
+    os << "  throughput " << formatDouble(r.throughput, 1)
+       << " img/s, " << r.switches.total() << " expert switches, "
+       << "imbalance " << formatDouble(r.imbalance(), 2);
+    if (r.stolenRequests > 0)
+        os << ", " << r.stolenRequests << " requests stolen";
+    os << "\n";
+    for (std::size_t i = 0; i < r.replicas.size(); ++i) {
+        const RunResult &rep = r.replicas[i];
+        os << "  replica " << i << ": " << rep.images << " images, "
+           << formatDouble(rep.throughput, 1) << " img/s, "
+           << rep.switches.total() << " switches";
+        const bool haveSteals = i < r.stolenFromReplica.size() &&
+                                i < r.stolenToReplica.size();
+        if (haveSteals && (r.stolenFromReplica[i] > 0 ||
+                           r.stolenToReplica[i] > 0)) {
+            os << ", stolen from " << r.stolenFromReplica[i]
+               << " / re-routed to " << r.stolenToReplica[i];
+        }
+        os << "\n";
     }
+    appendTierLines(os, r.tiers);
     return os.str();
 }
 

@@ -13,12 +13,21 @@
 #include <string>
 #include <vector>
 
+#include "metrics/cluster_result.h"
 #include "metrics/run_result.h"
 
 namespace coserve {
 
 /** Render one run as a multi-line summary (throughput, switches...). */
 std::string summarize(const RunResult &result);
+
+/**
+ * Render a cluster run: aggregate throughput / switches / imbalance,
+ * one row per replica (images, throughput, and — when work stealing
+ * ran — requests stolen from / re-routed to it), then the cluster's
+ * merged tier counters.
+ */
+std::string summarize(const ClusterResult &result);
 
 /** Render per-executor utilization rows. */
 std::string summarizeExecutors(const RunResult &result);

@@ -269,21 +269,20 @@ ServingEngine::startLoad(Executor &exec, ExpertId e, bool isPrefetch)
     pool.noteMiss();
     pool.beginLoad(e, bytes, ++loadSeq_);
 
-    // Snapshot the DRAM lookups once: a cluster-shared tier may be
-    // mutated by sibling replicas between calls, and the source
-    // decision, the counters and the channel choice below must all
-    // agree on one view.
-    const bool cacheResident = cpuTier_->holds(e);
+    // One combined lookup-and-touch on the DRAM tier: residency,
+    // hit counting and recency refresh happen under a single snapshot
+    // (for a cluster-shared tier, one lock acquisition instead of
+    // three — siblings can no longer mutate the tier between them),
+    // and the source decision, the remaining counters and the channel
+    // choice below all agree on that one view.
+    const bool cacheResident = cpuTier_->lookupAndTouch(e, eq_.now());
     const bool inCpuPool = cpuPool_ != nullptr && cpuPool_->resident(e);
     const bool fromCache = exec.kind() == ProcKind::GPU
                                ? (cacheResident || inCpuPool)
                                : cacheResident;
     if (fromCache) {
         sc.loadsFromCache += 1;
-        if (cacheResident) {
-            cpuTier_->noteHit();
-            cpuTier_->refresh(e, eq_.now());
-        } else {
+        if (!cacheResident) {
             // GPU load adopted from a CPU executor pool's DRAM copy.
             cpuPool_->noteHit();
         }
@@ -357,7 +356,7 @@ ServingEngine::onInferenceComplete(Executor &exec, const Request &req,
     }
 
     Request child;
-    child.id = nextRequestId_++;
+    child.id = allocRequestId();
     child.imageId = req.imageId;
     child.component = req.component;
     child.expert = comp.detector;
@@ -365,6 +364,28 @@ ServingEngine::onInferenceComplete(Executor &exec, const Request &req,
     child.arrival = eq_.now();
     child.defective = false;
     dispatchTimed(child);
+}
+
+RequestId
+ServingEngine::allocRequestId()
+{
+    const RequestId id = nextRequestId_;
+    nextRequestId_ += requestIdStride_;
+    return id;
+}
+
+void
+ServingEngine::scheduleArrival(const ImageArrival &a)
+{
+    Request req;
+    req.id = allocRequestId();
+    req.imageId = req.id;
+    req.component = a.component;
+    req.expert = model_.component(a.component).classifier;
+    req.stage = Stage::Classify;
+    req.arrival = a.time;
+    req.defective = a.defective;
+    eq_.schedule(a.time, [this, req]() { dispatchTimed(req); });
 }
 
 void
@@ -431,29 +452,27 @@ ServingEngine::preload()
     }
 }
 
+void
+ServingEngine::beginRun()
+{
+    result_.label = cfg_.label;
+    scheduler_->reset();
+    preload();
+}
+
 RunResult
 ServingEngine::run(const Trace &trace)
 {
     COSERVE_CHECK(!ran_, "ServingEngine instances are single-use");
     ran_ = true;
 
-    result_.label = cfg_.label;
-    scheduler_->reset();
-    preload();
+    beginRun();
 
-    nextRequestId_ = static_cast<RequestId>(trace.arrivals.size());
-    for (std::size_t i = 0; i < trace.arrivals.size(); ++i) {
-        const ImageArrival &a = trace.arrivals[i];
-        Request req;
-        req.id = static_cast<RequestId>(i);
-        req.imageId = req.id;
-        req.component = a.component;
-        req.expert = model_.component(a.component).classifier;
-        req.stage = Stage::Classify;
-        req.arrival = a.time;
-        req.defective = a.defective;
-        eq_.schedule(a.time, [this, req]() { dispatchTimed(req); });
-    }
+    // Arrivals take ids 0..n-1 (all scheduled before any child
+    // request is spawned); children continue from n.
+    nextRequestId_ = 0;
+    for (const ImageArrival &a : trace.arrivals)
+        scheduleArrival(a);
 
     eq_.run();
 
@@ -461,7 +480,12 @@ ServingEngine::run(const Trace &trace)
                       static_cast<std::int64_t>(trace.arrivals.size()),
                   "lost images: ", imagesDone_, " of ",
                   trace.arrivals.size());
+    return collectResult();
+}
 
+RunResult
+ServingEngine::collectResult()
+{
     result_.images = imagesDone_;
     result_.makespan = lastCompletion_;
     result_.eventsExecuted = eq_.executed();
@@ -489,6 +513,142 @@ ServingEngine::run(const Trace &trace)
         result_.tiers.push_back(cpuCache_.stats());
     result_.tiers.push_back(disk_.stats());
     return result_;
+}
+
+// ------------------------------ cluster-level online coordination API
+
+bool
+ReplicaLoadView::resident(ExpertId e) const
+{
+    return std::binary_search(residentExperts.begin(),
+                              residentExperts.end(), e);
+}
+
+bool
+ReplicaLoadView::queued(ExpertId e) const
+{
+    return std::binary_search(queuedExperts.begin(),
+                              queuedExperts.end(), e);
+}
+
+void
+ServingEngine::beginOnline(RequestId idBase, RequestId idStride)
+{
+    COSERVE_CHECK(!ran_, "ServingEngine instances are single-use");
+    COSERVE_CHECK(idStride >= 1, "request id stride must be >= 1");
+    ran_ = true;
+    online_ = true;
+    nextRequestId_ = idBase;
+    requestIdStride_ = idStride;
+    beginRun();
+}
+
+void
+ServingEngine::admitArrival(const ImageArrival &a)
+{
+    COSERVE_CHECK(online_, "admitArrival outside an online run");
+    scheduleArrival(a);
+}
+
+void
+ServingEngine::fillLoadView(ReplicaLoadView &out) const
+{
+    out.now = eq_.now();
+    out.idle = eq_.pending() == 0;
+    out.storageFreeAt = storage_->busyUntil();
+    out.gpuPressure = gpuPressure_;
+    out.queueDepth = 0;
+    out.backlog = 0;
+    out.executors.clear();
+    out.queuedExperts.clear();
+    for (const auto &exec : executors_) {
+        out.queueDepth += exec->queue().size();
+        out.backlog += exec->queue().pendingWork();
+        out.executors.push_back(
+            {exec->busyUntil(), exec->queue().pendingWork()});
+        exec->queue().appendQueuedExperts(out.queuedExperts);
+    }
+    std::sort(out.queuedExperts.begin(), out.queuedExperts.end());
+    out.queuedExperts.erase(std::unique(out.queuedExperts.begin(),
+                                        out.queuedExperts.end()),
+                            out.queuedExperts.end());
+    out.residentExperts.clear();
+    for (const ModelPool *pool : {gpuPool_.get(), cpuPool_.get()}) {
+        if (pool == nullptr)
+            continue;
+        for (const auto &[id, entry] : pool->entries()) {
+            if (!entry.loading)
+                out.residentExperts.push_back(id);
+        }
+    }
+    // Pool iteration order is unspecified (hash map); sort so the view
+    // is deterministic and resident() can binary-search.
+    std::sort(out.residentExperts.begin(), out.residentExperts.end());
+}
+
+std::size_t
+ServingEngine::stealRequests(std::size_t maxCount,
+                             std::vector<Request> &out,
+                             const RequestQueue::StealFilter &allow)
+{
+    COSERVE_CHECK(online_, "stealRequests outside an online run");
+    std::size_t total = 0;
+    // A queue can run out of stealable (filter-passing, non-head)
+    // requests while a shallower one still has some.
+    std::vector<char> exhausted(executors_.size(), 0);
+    while (total < maxCount) {
+        // Level the deepest queue down to the runner-up (ties: lowest
+        // executor index, one request when already level) so a steal
+        // drains the replica's backlog evenly instead of emptying one
+        // executor — chunked, so the tail walk is not restarted per
+        // stolen request.
+        std::size_t victim = executors_.size();
+        std::size_t depth = 1; // > 1: the head request is never stolen
+        std::size_t runnerUp = 1;
+        for (std::size_t i = 0; i < executors_.size(); ++i) {
+            if (exhausted[i])
+                continue;
+            const std::size_t size = executors_[i]->queue().size();
+            if (size > depth) {
+                runnerUp = depth;
+                depth = size;
+                victim = i;
+            } else if (size > runnerUp) {
+                runnerUp = size;
+            }
+        }
+        if (victim == executors_.size())
+            break;
+        const std::size_t chunk = std::min(
+            maxCount - total, std::max<std::size_t>(1, depth - runnerUp));
+        const int got = executors_[victim]->stealFromQueue(
+            static_cast<int>(chunk), out, allow);
+        // A short count means the tail walk reached the head: nothing
+        // further in this queue passes the filter, so don't re-walk
+        // its rejected suffix on the next iteration.
+        if (got < static_cast<int>(chunk))
+            exhausted[victim] = 1;
+        total += static_cast<std::size_t>(got);
+    }
+    return total;
+}
+
+void
+ServingEngine::injectRequest(const Request &req)
+{
+    COSERVE_CHECK(online_, "injectRequest outside an online run");
+    COSERVE_CHECK(req.arrival <= eq_.now(),
+                  "stolen request from the future");
+    dispatchTimed(req);
+}
+
+RunResult
+ServingEngine::finishOnline()
+{
+    COSERVE_CHECK(online_, "finishOnline without beginOnline");
+    COSERVE_CHECK(eq_.pending() == 0, "finishOnline with ",
+                  eq_.pending(), " events pending");
+    return collectResult();
 }
 
 } // namespace coserve

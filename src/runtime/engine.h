@@ -29,6 +29,66 @@
 
 namespace coserve {
 
+/**
+ * Live load snapshot of one serving engine, exposed to cluster-level
+ * routers (cluster/router.h) in online-routing mode: what a replica is
+ * *actually* doing right now, as opposed to the router's private model
+ * of what it predicted the replica would do.
+ */
+struct ReplicaLoadView
+{
+    /** Replica virtual time at snapshot. */
+    Time now = 0;
+    /** Requests queued but not yet started, across all executors. */
+    std::size_t queueDepth = 0;
+    /** Sum of the queues' scheduler latency estimates. */
+    Time backlog = 0;
+    /** True when the engine has no pending events (drained). */
+    bool idle = false;
+    /**
+     * When the replica's (serialized) storage channel frees up: a new
+     * SSD load queues behind every in-flight one, so the effective
+     * switch cost is the uncontended load latency plus this backlog.
+     */
+    Time storageFreeAt = 0;
+    /** GPU load slowdown under memory pressure (engine's model). */
+    double gpuPressure = 1.0;
+    /** Per-executor load components (see executors below). */
+    struct ExecutorLoad
+    {
+        /** When the executor's running batch completes (<= now: idle). */
+        Time busyUntil = 0;
+        /** The queue's pending-work estimate. */
+        Time pendingWork = 0;
+    };
+    /**
+     * Per-executor predicted-finish components, in executor order: a
+     * consumer at decision time `at` computes
+     * max(at, busyUntil) + pendingWork — keeping the two parts
+     * separate lets a cached snapshot stay exact while only the clock
+     * has moved.
+     */
+    std::vector<ExecutorLoad> executors;
+    /**
+     * Experts currently resident in the replica's executor pools
+     * (sorted, loading entries excluded): the actual resident set the
+     * offline routers only approximate with an LRU guess.
+     */
+    std::vector<ExpertId> residentExperts;
+    /**
+     * Experts demanded by at least one queued request (sorted). A new
+     * same-expert request joins the group and pays no switch — the
+     * paper's Section 4.2 condition, lifted to replica granularity.
+     */
+    std::vector<ExpertId> queuedExperts;
+
+    /** @return true when @p e is resident in an executor pool. */
+    bool resident(ExpertId e) const;
+
+    /** @return true when a queued request already demands @p e. */
+    bool queued(ExpertId e) const;
+};
+
 /** Single-use serving system instance. */
 class ServingEngine
 {
@@ -60,6 +120,82 @@ class ServingEngine
      * and yields an empty result.
      */
     RunResult run(const Trace &trace);
+
+    // ----- API for cluster-level online coordination -----------------
+    //
+    // In ClusterConfig::onlineRouting mode the cluster coordinator —
+    // not the engine — owns the trace: it steps all replicas in
+    // lockstep on the shared virtual clock, routes each arrival at its
+    // arrival time using live load views, and may re-route
+    // queued-but-unstarted requests between replicas (work stealing).
+    // Protocol: beginOnline() once, then any interleaving of
+    // admitArrival / stepUntil / nextEventTime / fillLoadView /
+    // stealRequests / injectRequest, then finishOnline() once.
+
+    /**
+     * Start an externally-driven run (instead of run()): resets the
+     * scheduler and preloads the pools, but schedules no arrivals.
+     *
+     * Request ids are allocated as @p idBase + k * @p idStride so a
+     * coordinator can give each replica a disjoint id space (replica i
+     * of N uses base i, stride N) — stolen requests keep their id, so
+     * ids must be unique cluster-wide.
+     */
+    void beginOnline(RequestId idBase, RequestId idStride);
+
+    /** Admit one arrival; its dispatch runs at @p a.time (>= now()). */
+    void admitArrival(const ImageArrival &a);
+
+    /** Timestamp of the next pending event; kTimeNever when drained. */
+    Time nextEventTime() { return eq_.nextTime(); }
+
+    /**
+     * Execute all events with timestamp <= @p t and advance the clock
+     * to exactly @p t (also when no events were pending).
+     *
+     * @return number of events executed — zero means the engine's
+     *         observable state (beyond the clock) did not change, so
+     *         a coordinator may keep its cached load view.
+     */
+    std::uint64_t
+    stepUntil(Time t)
+    {
+        const std::uint64_t before = eq_.executed();
+        eq_.runUntil(t);
+        return eq_.executed() - before;
+    }
+
+    /** Fill @p out with a live load snapshot (buffers reused). */
+    void fillLoadView(ReplicaLoadView &out) const;
+
+    /**
+     * Work stealing (victim side): remove up to @p maxCount
+     * queued-but-unstarted requests passing @p allow (the thief's
+     * capability filter; null allows everything) from the tails of
+     * this engine's executor queues — deepest queue first, never a
+     * queue's head request — appending them to @p out.
+     *
+     * @return number of requests removed.
+     */
+    std::size_t stealRequests(std::size_t maxCount,
+                              std::vector<Request> &out,
+                              const RequestQueue::StealFilter &allow);
+
+    /**
+     * Work stealing (thief side): dispatch a request stolen from a
+     * sibling replica through this engine's scheduler at the current
+     * virtual time. The request keeps its original id and arrival time
+     * (end-to-end latency stays measured from cluster arrival).
+     */
+    void injectRequest(const Request &req);
+
+    /**
+     * Finish an online run: collect metrics exactly as run() does. The
+     * per-engine images == arrivals invariant is *not* checked — with
+     * work stealing a chain may complete on a different replica than
+     * it was admitted to; the cluster validates the total instead.
+     */
+    RunResult finishOnline();
 
     // ----- API for Scheduler implementations -------------------------
 
@@ -143,6 +279,14 @@ class ServingEngine
   private:
     void validate() const;
     void preload();
+    /** Shared head of run() / beginOnline(): reset + preload. */
+    void beginRun();
+    /** Shared tail of run() / finishOnline(): metrics assembly. */
+    RunResult collectResult();
+    /** Next request id in this engine's (possibly strided) id space. */
+    RequestId allocRequestId();
+    /** Build a classify request for @p a and schedule its dispatch. */
+    void scheduleArrival(const ImageArrival &a);
     void dispatchTimed(const Request &req);
     ArchId archOf(ExpertId e) const;
     /** Fastest available source for loading @p e into GPU memory. */
@@ -183,9 +327,12 @@ class ServingEngine
     /** Dispatches seen; drives 1-in-16 scheduling-wall sampling. */
     std::uint64_t dispatchCount_ = 0;
     RequestId nextRequestId_ = 0;
+    /** Id increment; > 1 only for cluster-coordinated online runs. */
+    RequestId requestIdStride_ = 1;
     std::int64_t imagesDone_ = 0;
     Time lastCompletion_ = 0;
     bool ran_ = false;
+    bool online_ = false;
 
     RunResult result_;
 };

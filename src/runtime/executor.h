@@ -58,6 +58,19 @@ class Executor
     /** Drop the soft pin if it references @p e (eviction bookkeeping). */
     void clearSoftPinIf(ExpertId e);
 
+    /**
+     * Work stealing: remove up to @p maxCount queued-but-unstarted
+     * requests passing @p allow from this queue's tail into @p out
+     * (the head request stays — see RequestQueue::stealFromTail). The
+     * running batch, if any, is unaffected.
+     */
+    int
+    stealFromQueue(int maxCount, std::vector<Request> &out,
+                   const RequestQueue::StealFilter &allow)
+    {
+        return queue_.stealFromTail(maxCount, out, allow);
+    }
+
     /** @return the queue (schedulers inspect it). */
     const RequestQueue &queue() const { return queue_; }
 

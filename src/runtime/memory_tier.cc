@@ -333,6 +333,18 @@ SharedCpuTier::refresh(ExpertId e, Time now)
     tier_.refresh(e, ++tick_);
 }
 
+bool
+SharedCpuTier::lookupAndTouch(ExpertId e, Time now)
+{
+    (void)now; // replica sim clocks are incomparable; use the tick
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!tier_.holds(e))
+        return false;
+    tier_.noteHit();
+    tier_.refresh(e, ++tick_);
+    return true;
+}
+
 void
 SharedCpuTier::noteHit()
 {

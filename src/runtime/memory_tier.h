@@ -113,6 +113,27 @@ class TierBelow
     /** Refresh recency of @p e; no-op when absent. */
     virtual void refresh(ExpertId e, Time now) = 0;
 
+    /**
+     * Combined residency lookup and hit accounting: when @p e is
+     * resident, count a hit, refresh its recency and return true.
+     * Absence returns false *without* counting a miss — the caller may
+     * still satisfy the load elsewhere (e.g. a CPU executor pool) and
+     * decides the miss accounting itself. Equivalent to
+     * holds + noteHit + refresh, but a shared tier serializes it under
+     * one lock acquisition instead of three, and the result is one
+     * consistent snapshot even when sibling replicas mutate the tier
+     * concurrently.
+     */
+    virtual bool
+    lookupAndTouch(ExpertId e, Time now)
+    {
+        if (!holds(e))
+            return false;
+        noteHit();
+        refresh(e, now);
+        return true;
+    }
+
     /** Record an access served by this tier. */
     virtual void noteHit() = 0;
 
@@ -357,6 +378,7 @@ class SharedCpuTier : public TierBelow
     bool admit(ExpertId e, std::int64_t bytes, Time now) override;
     bool warm(ExpertId e, std::int64_t bytes) override;
     void refresh(ExpertId e, Time now) override;
+    bool lookupAndTouch(ExpertId e, Time now) override;
     void noteHit() override;
     void noteMiss() override;
     TierStats stats() const override;

@@ -151,6 +151,50 @@ RequestQueue::nextDistinctExpert() const
     return kNoExpert;
 }
 
+int
+RequestQueue::stealFromTail(int maxCount, std::vector<Request> &out,
+                            const StealFilter &allow)
+{
+    int stolen = 0;
+    NodeIdx cur = tail_;
+    // Walk tailward, unlinking matches; stop at the head node (never
+    // stolen — see the header comment).
+    while (stolen < maxCount && cur != kNil && cur != head_) {
+        Node &n = nodes_[cur];
+        const NodeIdx prev = n.prev;
+        if (allow && !allow(n.entry.req)) {
+            cur = prev;
+            continue;
+        }
+        // noteRemoved() assumes head-order removal (group emptied =>
+        // last == node): a stolen node that *is* its group's last but
+        // not its only member hands that role to the nearest earlier
+        // same-expert node first, then the shared bookkeeping applies.
+        const ExpertId e = n.entry.req.expert;
+        GroupInfo &info = groups_[e];
+        if (info.count > 1 && info.last == cur) {
+            NodeIdx p = prev;
+            while (p != kNil && nodes_[p].entry.req.expert != e)
+                p = nodes_[p].prev;
+            COSERVE_CHECK(p != kNil, "queue group lost on steal");
+            info.last = p;
+        }
+        noteRemoved(cur);
+        out.push_back(std::move(n.entry.req));
+        if (n.prev != kNil)
+            nodes_[n.prev].next = n.next;
+        if (n.next != kNil)
+            nodes_[n.next].prev = n.prev;
+        if (tail_ == cur)
+            tail_ = n.prev;
+        freeNodes_.push_back(cur);
+        --size_;
+        ++stolen;
+        cur = prev;
+    }
+    return stolen;
+}
+
 std::vector<Request>
 RequestQueue::snapshot() const
 {

@@ -26,6 +26,7 @@
 #define COSERVE_RUNTIME_QUEUE_H
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "workload/request.h"
@@ -81,6 +82,23 @@ class RequestQueue
      */
     ExpertId nextDistinctExpert() const;
 
+    /** Predicate selecting which requests a thief may steal. */
+    using StealFilter = std::function<bool(const Request &)>;
+
+    /**
+     * Work-stealing support: remove up to @p maxCount requests from
+     * the tail (newest first), appending them to @p out. The head
+     * request is never stolen — the executor may have a demand load in
+     * flight for its expert, and an executor with queued work must
+     * keep something to run when that load lands. Requests rejected by
+     * @p allow (e.g. architectures the thief cannot serve) are skipped
+     * in place; a null filter allows everything.
+     *
+     * @return number of requests removed.
+     */
+    int stealFromTail(int maxCount, std::vector<Request> &out,
+                      const StealFilter &allow = nullptr);
+
     /** @return true when some queued request uses @p e. */
     bool
     containsExpert(ExpertId e) const
@@ -100,6 +118,20 @@ class RequestQueue
 
     /** Sum of scheduler estimates of all queued requests. */
     Time pendingWork() const { return pendingWork_; }
+
+    /**
+     * Append every expert with at least one queued request to @p out
+     * (may contain duplicates across calls; callers dedupe). Used to
+     * snapshot live demand for cluster-level routing.
+     */
+    void
+    appendQueuedExperts(std::vector<ExpertId> &out) const
+    {
+        for (std::size_t e = 0; e < groups_.size(); ++e) {
+            if (groups_[e].count > 0)
+                out.push_back(static_cast<ExpertId>(e));
+        }
+    }
 
     /** Snapshot of queued requests in order (tests / debugging). */
     std::vector<Request> snapshot() const;

@@ -62,6 +62,13 @@ EventQueue::dropCancelledTop()
         popTop();
 }
 
+Time
+EventQueue::nextTime()
+{
+    dropCancelledTop();
+    return heap_.empty() ? kTimeNever : heap_.front().when;
+}
+
 bool
 EventQueue::runOne()
 {

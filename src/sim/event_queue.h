@@ -92,6 +92,13 @@ class EventQueue
     /** Run events with timestamp <= @p until (clock ends at @p until). */
     void runUntil(Time until);
 
+    /**
+     * Timestamp of the earliest pending live event, kTimeNever when
+     * none remain. Discards surfaced tombstones, hence non-const; used
+     * by cluster-level coordinators to step replicas in lockstep.
+     */
+    Time nextTime();
+
     /** @return number of pending *live* (non-cancelled) events. */
     std::size_t pending() const { return live_; }
 

@@ -7,7 +7,17 @@ noisy for a hard perf gate, but a >25% drop on every scenario is worth
 a look. Emits GitHub Actions ``::warning::`` annotations so the drop is
 visible on the workflow run without breaking the build.
 
+Two additional warn-only gates:
+
+- ``--require NAME`` (repeatable) insists that a scenario is present in
+  both files — e.g. ``--require cluster_4x`` keeps the cluster
+  events/sec series from silently dropping out of the perf harness.
+- ``sim_throughput_img_per_sec`` fields are compared for *exact*
+  equality: simulated metrics are deterministic, so any drift across a
+  host-only perf change is a determinism bug, not noise.
+
 Usage: compare_bench.py BASELINE CURRENT [--threshold 0.25]
+       [--require SCENARIO]...
 """
 
 import argparse
@@ -25,6 +35,13 @@ def main() -> int:
         default=0.25,
         help="warn when events/sec drops by more than this fraction",
     )
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="SCENARIO",
+        help="scenario that must be present in both files (repeatable)",
+    )
     args = parser.parse_args()
 
     with open(args.baseline) as f:
@@ -32,7 +49,18 @@ def main() -> int:
     with open(args.current) as f:
         current = json.load(f)
 
-    regressions = 0
+    warnings = 0
+    for scenario in args.require:
+        # Required-but-absent-from-current is already warned by the
+        # per-scenario loop below whenever the baseline can compare it
+        # (present with events_per_sec); only a baseline that cannot
+        # needs its own warning here.
+        if baseline.get(scenario, {}).get("events_per_sec") is None:
+            print(f"::warning::required perf scenario '{scenario}' "
+                  f"missing from (or not comparable in) the baseline "
+                  f"file")
+            warnings += 1
+
     for scenario, base in sorted(baseline.items()):
         base_eps = base.get("events_per_sec")
         cur = current.get(scenario)
@@ -41,7 +69,7 @@ def main() -> int:
         if cur is None or "events_per_sec" not in cur:
             print(f"::warning::perf scenario '{scenario}' missing from "
                   f"{args.current}")
-            regressions += 1
+            warnings += 1
             continue
         cur_eps = cur["events_per_sec"]
         delta = (cur_eps - base_eps) / base_eps
@@ -51,13 +79,27 @@ def main() -> int:
                   f"{cur_eps:,.0f} events/s vs baseline "
                   f"{base_eps:,.0f} ({delta:+.1%}, threshold "
                   f"-{args.threshold:.0%})")
-            regressions += 1
+            warnings += 1
             marker = "  <-- regression"
         print(f"{scenario}: {cur_eps:,.0f} events/s "
               f"(baseline {base_eps:,.0f}, {delta:+.1%}){marker}")
 
-    if regressions == 0:
-        print(f"all scenarios within {args.threshold:.0%} of baseline")
+        # Determinism guard: simulated throughput must not move at all
+        # unless the simulation itself intentionally changed (in which
+        # case the baseline should be refreshed in the same commit).
+        base_sim = base.get("sim_throughput_img_per_sec")
+        cur_sim = cur.get("sim_throughput_img_per_sec")
+        if base_sim is not None and cur_sim is not None \
+                and cur_sim != base_sim:
+            print(f"::warning::sim determinism drift in '{scenario}': "
+                  f"sim_throughput_img_per_sec {cur_sim!r} vs baseline "
+                  f"{base_sim!r} — refresh bench/BENCH_baseline.json if "
+                  f"this change touched the simulation")
+            warnings += 1
+
+    if warnings == 0:
+        print(f"all scenarios within {args.threshold:.0%} of baseline, "
+              f"sim metrics byte-identical")
     # Warn-only gate: always succeed.
     return 0
 
