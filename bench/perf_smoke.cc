@@ -13,7 +13,12 @@
  *  - single_engine:  a fixed mid-size trace through one CoServe
  *                    (casual) engine;
  *  - cluster_4x:     the same trace through a 4-replica least-loaded
- *                    cluster (threaded replicas).
+ *                    cluster (threaded replicas);
+ *  - slo_diurnal:    an SLO-classed diurnal multi-tenant trace through
+ *                    the online coordinator with admission, deadline
+ *                    scheduling, stealing and autoscaling — covers the
+ *                    whole SLO layer in the perf trajectory and pins
+ *                    its simulated goodput for the determinism gate.
  *
  * Each scenario reports events executed, wall time and events/sec, and
  * all three are written to BENCH_perf.json (argv[1] overrides the
@@ -29,6 +34,7 @@
 #include "cluster/cluster.h"
 #include "metrics/cluster_result.h"
 #include "sim/event_queue.h"
+#include "workload/generator.h"
 
 using namespace coserve;
 
@@ -193,6 +199,79 @@ main(int argc, char **argv)
         json.field("images", static_cast<double>(images));
         json.field("sim_throughput_img_per_sec", throughput);
         t.addRow({"cluster_4x", std::to_string(events / kIters),
+                  formatDouble(wall * 1e3 / kIters, 1),
+                  formatDouble(eps, 0), formatDouble(throughput, 1)});
+    }
+
+    // ------------------------------------------------------ slo_diurnal
+    {
+        // Interactive/batch/best-effort tenants over a sped-up
+        // day/night cycle, served by the online coordinator with the
+        // full SLO stack on. Smaller than the throughput scenarios —
+        // its job is covering the SLO layer's hot paths and pinning
+        // the simulated goodput, not peak events/sec.
+        TenantSpec interactive;
+        interactive.name = "interactive";
+        interactive.cls = RequestClass::Interactive;
+        interactive.ratePerSec = 12.0;
+        interactive.latencyBudget = milliseconds(350);
+        interactive.diurnalAmplitude = 0.85;
+        interactive.diurnalPeriod = seconds(60);
+        TenantSpec batchTenant;
+        batchTenant.name = "batch";
+        batchTenant.cls = RequestClass::Batch;
+        batchTenant.ratePerSec = 8.0;
+        batchTenant.latencyBudget = seconds(2);
+        batchTenant.diurnalAmplitude = 0.6;
+        batchTenant.diurnalPeriod = seconds(60);
+        TenantSpec bestEffort;
+        bestEffort.name = "best-effort";
+        bestEffort.cls = RequestClass::BestEffort;
+        bestEffort.ratePerSec = 3.0;
+        bestEffort.arrivals = ArrivalProcess::MMPP;
+        bestEffort.mmppBurstFactor = 6.0;
+        const Trace slo = generateSloTrace(
+            bench::modelA(), {interactive, batchTenant, bestEffort},
+            seconds(240), 0x510D);
+
+        constexpr int kIters = 3;
+        std::uint64_t events = 0;
+        double wall = 0.0, throughput = 0.0, goodput = 0.0;
+        std::int64_t images = 0;
+        for (int i = 0; i < kIters; ++i) {
+            ClusterConfig cc = homogeneousCluster(
+                h.context(), cfg, 4, RoutingPolicy::LeastLoaded,
+                "perf-slo");
+            cc.onlineRouting = true;
+            cc.workStealing = true;
+            cc.admission.enabled = true;
+            cc.admission.slack = 1.25;
+            cc.autoscale.enabled = true;
+            cc.autoscale.interval = seconds(1);
+            cc.autoscale.cooldown = seconds(2);
+            ClusterEngine cluster(std::move(cc));
+            const ClusterResult r = cluster.run(slo);
+            wall += r.wallSeconds;
+            events += r.eventsExecuted;
+            if (i > 0) {
+                COSERVE_CHECK(r.images == images &&
+                                  r.throughput == throughput &&
+                                  r.slo.goodput(r.makespan) == goodput,
+                              "slo_diurnal iterations diverged");
+            }
+            images = r.images;
+            throughput = r.throughput;
+            goodput = r.slo.goodput(r.makespan);
+        }
+        const double eps = static_cast<double>(events) / wall;
+        json.scenario("slo_diurnal");
+        json.field("events", static_cast<double>(events) / kIters);
+        json.field("wall_ms", wall * 1e3 / kIters);
+        json.field("events_per_sec", eps);
+        json.field("images", static_cast<double>(images));
+        json.field("sim_throughput_img_per_sec", throughput);
+        json.field("sim_goodput_img_per_sec", goodput);
+        t.addRow({"slo_diurnal", std::to_string(events / kIters),
                   formatDouble(wall * 1e3 / kIters, 1),
                   formatDouble(eps, 0), formatDouble(throughput, 1)});
     }

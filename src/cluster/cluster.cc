@@ -1,11 +1,70 @@
 #include "cluster/cluster.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
+#include "core/scheduler.h"
+#include "slo/admission.h"
 #include "util/logging.h"
 
 namespace coserve {
+
+namespace {
+
+/**
+ * Predicted completion of @p a on one replica, from its live view: the
+ * earliest-free executor plus the Section-4.2 execution estimate, the
+ * switch when the classifier is neither queued nor resident, and the
+ * detect child's execution when the component chains one. The
+ * cluster-admission twin of ServingEngine::predictCompletion, using
+ * the replica's *profiled* matrix since the coordinator has it.
+ */
+Time
+predictReplicaCompletion(const ReplicaView &view,
+                         const ReplicaLoadView &live,
+                         const CoEModel &model, const ImageArrival &a)
+{
+    const ComponentType &comp = model.component(a.component);
+    const ExpertId expert = comp.classifier;
+    const ArchId arch = model.expert(expert).arch;
+    bool hasGpu = false;
+    for (const ExecutorConfig &e : view.cfg->executors)
+        hasGpu = hasGpu || e.kind == ProcKind::GPU;
+    const ProcKind proc = hasGpu ? ProcKind::GPU : ProcKind::CPU;
+
+    const bool joins = live.queued(expert);
+    Time add = DependencyAwareScheduler::execEstimate(
+        &view.ctx->perf(), &view.ctx->truth(), arch, proc, joins);
+    if (!joins && !live.resident(expert) &&
+        view.ctx->perf().has(arch, proc)) {
+        const Time load = view.ctx->perf().at(arch, proc).loadLatency;
+        add += proc == ProcKind::GPU
+                   ? static_cast<Time>(static_cast<double>(load) *
+                                       live.gpuPressure)
+                   : load;
+        add += std::max<Time>(0, live.storageFreeAt -
+                                     std::max(live.now, a.time));
+    }
+    if (comp.detector != kNoExpert) {
+        add += DependencyAwareScheduler::execEstimate(
+            &view.ctx->perf(), &view.ctx->truth(),
+            model.expert(comp.detector).arch, proc, false);
+    }
+
+    Time soonest = a.time;
+    if (!live.executors.empty()) {
+        soonest = kTimeNever;
+        for (const ReplicaLoadView::ExecutorLoad &ex : live.executors) {
+            soonest = std::min(soonest,
+                               std::max(a.time, ex.busyUntil) +
+                                   ex.pendingWork);
+        }
+    }
+    return std::max(a.time, soonest) + add;
+}
+
+} // namespace
 
 ClusterEngine::ClusterEngine(ClusterConfig cfg) : cfg_(std::move(cfg))
 {
@@ -178,6 +237,47 @@ ClusterEngine::runOnline(const Trace &trace)
     auto router = makeRouter(cfg_.routing,
                              cfg_.replicas.front().ctx->model(), views);
 
+    // ----- autoscaler state ------------------------------------------
+    //
+    // Which replicas currently take new work. With autoscaling off
+    // every replica is active for the whole run and none of this has
+    // any effect — online results stay identical to PR 4.
+    const AutoscaleConfig &as = cfg_.autoscale;
+    std::vector<char> active(n, 1);
+    std::size_t activeCount = n;
+    if (as.enabled) {
+        COSERVE_CHECK(as.minReplicas >= 1 && as.minReplicas <= n,
+                      "autoscale.minReplicas out of range");
+        COSERVE_CHECK(as.interval > 0, "autoscale.interval must be > 0");
+        std::size_t start = as.startReplicas == 0 ? as.minReplicas
+                                                  : as.startReplicas;
+        start = std::min(start, n);
+        for (std::size_t i = start; i < n; ++i)
+            active[i] = 0;
+        activeCount = start;
+        // The initial active set must cover every component on a
+        // heterogeneous cluster — routers abort on an arrival no
+        // active replica can chain-serve. Activate the first capable
+        // quiesced replica for each uncovered component (same rule
+        // the quiesce path enforces via its coverage guard).
+        const CoEModel &m = cfg_.replicas.front().ctx->model();
+        for (std::size_t c = 0; c < m.numComponents(); ++c) {
+            const auto comp = static_cast<ComponentId>(c);
+            bool covered = false;
+            for (std::size_t i = 0; i < n && !covered; ++i)
+                covered = active[i] && chainCapable(views[i], m, comp);
+            if (covered)
+                continue;
+            for (std::size_t i = 0; i < n; ++i) {
+                if (!active[i] && chainCapable(views[i], m, comp)) {
+                    active[i] = 1;
+                    activeCount += 1;
+                    break;
+                }
+            }
+        }
+    }
+
     std::vector<ReplicaLoadView> live(n);
     // Snapshots are rebuilt lazily: a replica's observable state only
     // changes when it executes events or accepts a request, so clean
@@ -190,6 +290,8 @@ ClusterEngine::runOnline(const Trace &trace)
                 engines[i]->fillLoadView(live[i]);
                 dirty[i] = 0;
             }
+            // fillLoadView resets the gate; re-apply the active set.
+            live[i].acceptingWork = active[i] != 0;
         }
     };
 
@@ -199,10 +301,11 @@ ClusterEngine::runOnline(const Trace &trace)
     // aborts deep in the scheduler's estimate. Same capability rule
     // the routers apply (router.h) — and like routing, a stolen
     // classify request brings its whole chain, so the thief must also
-    // serve the detect child it may spawn.
+    // serve the detect child it may spawn. The autoscaler's
+    // quiesce-evacuation reuses the same filters.
     const CoEModel &model = cfg_.replicas.front().ctx->model();
     std::vector<RequestQueue::StealFilter> canServe(n);
-    if (cfg_.workStealing) {
+    if (cfg_.workStealing || as.enabled) {
         for (std::size_t i = 0; i < n; ++i) {
             canServe[i] = [&model,
                            view = views[i]](const Request &req) {
@@ -212,6 +315,35 @@ ClusterEngine::runOnline(const Trace &trace)
             };
         }
     }
+
+    // Does the trace carry SLO metadata at all? Classless traces skip
+    // every SLO code path (admission, at-risk steal pass).
+    bool sloTrace = false;
+    for (const ImageArrival &a : trace.arrivals) {
+        if (sloTracked(a.cls) || a.deadline != kTimeNever) {
+            sloTrace = true;
+            break;
+        }
+    }
+    const AdmissionController admission(cfg_.admission);
+    SloStats coordSlo; // cluster-level admission verdicts
+    std::int64_t coordRejected = 0;
+
+    // Shared-tier steal hint scratch: distinct experts of re-routed
+    // requests (see SharedCpuTier::hintUpcomingLoads).
+    std::vector<ExpertId> lootExperts;
+    const auto hintSharedTier = [&](const std::vector<Request> &loot) {
+        if (sharedCpu == nullptr || loot.empty())
+            return;
+        lootExperts.clear();
+        for (const Request &req : loot)
+            lootExperts.push_back(req.expert);
+        std::sort(lootExperts.begin(), lootExperts.end());
+        lootExperts.erase(
+            std::unique(lootExperts.begin(), lootExperts.end()),
+            lootExperts.end());
+        sharedCpu->hintUpcomingLoads(lootExperts);
+    };
 
     std::vector<std::int64_t> stolenFrom(n, 0), stolenTo(n, 0);
     std::vector<Request> stealBuf;
@@ -230,7 +362,8 @@ ClusterEngine::runOnline(const Trace &trace)
             return; // common case: skip the full view refresh
         refreshViews();
         for (std::size_t thief = 0; thief < n; ++thief) {
-            if (!live[thief].idle)
+            // A quiesced replica must not pull new work onto itself.
+            if (!live[thief].idle || !active[thief])
                 continue;
             std::size_t victim = n;
             std::size_t depth = cfg_.stealBacklogThreshold;
@@ -244,11 +377,36 @@ ClusterEngine::runOnline(const Trace &trace)
             if (victim == n)
                 continue;
             stealBuf.clear();
-            const std::size_t got = engines[victim]->stealRequests(
-                live[victim].queueDepth / 2, stealBuf,
-                canServe[thief]);
+            const std::size_t want = live[victim].queueDepth / 2;
+            std::size_t got = 0;
+            if (sloTrace) {
+                // Deadline-aware pass first: prefer the loot that
+                // would *violate* if it stayed — requests whose
+                // deadline falls inside the victim's predicted
+                // backlog drain. Only then top up with arbitrary
+                // (servable) tail requests.
+                const Time victimEta =
+                    live[victim].now + live[victim].backlog;
+                const RequestQueue::StealFilter &serve =
+                    canServe[thief];
+                const RequestQueue::StealFilter atRisk =
+                    [&serve, victimEta](const Request &req) {
+                        return req.deadline != kTimeNever &&
+                               req.deadline < victimEta &&
+                               (!serve || serve(req));
+                    };
+                got = engines[victim]->stealRequests(want, stealBuf,
+                                                     atRisk);
+            }
+            if (got < want) {
+                got += engines[victim]->stealRequests(
+                    want - got, stealBuf, canServe[thief]);
+            }
             if (got == 0)
                 continue;
+            // Keep the thief's upcoming demand loads resident in the
+            // shared DRAM tier (steal-aware admission).
+            hintSharedTier(stealBuf);
             for (const Request &req : stealBuf)
                 engines[thief]->injectRequest(req);
             stolenFrom[victim] += static_cast<std::int64_t>(got);
@@ -256,17 +414,152 @@ ClusterEngine::runOnline(const Trace &trace)
             // Only the two parties' state changed.
             engines[thief]->fillLoadView(live[thief]);
             engines[victim]->fillLoadView(live[victim]);
+            live[thief].acceptingWork = active[thief] != 0;
+            live[victim].acceptingWork = active[victim] != 0;
             dirty[thief] = 0;
             dirty[victim] = 0;
         }
     };
 
+    // ----- autoscale control loop ------------------------------------
+
+    std::int64_t lastCompleted = 0, lastViolated = 0;
+    std::int64_t activations = 0, quiesces = 0, evacuated = 0;
+    Time lastScaleAction = -as.cooldown;
+    Time nextControl = as.interval;
+    double activeIntegral = 0.0;
+    Time lastActiveMark = 0;
+    const auto noteActiveChange = [&](Time now) {
+        activeIntegral += static_cast<double>(activeCount) *
+                          static_cast<double>(now - lastActiveMark);
+        lastActiveMark = now;
+    };
+
+    // Quiescing must never leave a component unservable: on a
+    // heterogeneous cluster the candidate may be the last active
+    // replica capable of some chain.
+    const auto activeSetCovers = [&](std::size_t excluding) {
+        for (std::size_t c = 0; c < model.numComponents(); ++c) {
+            bool covered = false;
+            for (std::size_t i = 0; i < n && !covered; ++i) {
+                covered = i != excluding && active[i] &&
+                          chainCapable(views[i], model,
+                                       static_cast<ComponentId>(c));
+            }
+            if (!covered)
+                return false;
+        }
+        return true;
+    };
+
+    // Drain a quiescing replica through the steal machinery: its
+    // queued-but-unstarted requests re-route to active siblings in
+    // small round-robin chunks (no sibling swallows the whole drain),
+    // each sibling filtering by its own capability. Queue heads stay
+    // behind by design (stealFromTail) and simply finish where they
+    // are — quiesce is a drain, not a kill.
+    std::vector<Request> evacBuf;
+    const auto evacuate = [&](std::size_t q) {
+        bool progress = true;
+        while (progress) {
+            progress = false;
+            for (std::size_t t = 0; t < n; ++t) {
+                if (!active[t] || t == q)
+                    continue;
+                evacBuf.clear();
+                const std::size_t got =
+                    engines[q]->stealRequests(4, evacBuf, canServe[t]);
+                if (got == 0)
+                    continue;
+                hintSharedTier(evacBuf);
+                for (const Request &req : evacBuf)
+                    engines[t]->injectRequest(req);
+                evacuated += static_cast<std::int64_t>(got);
+                dirty[t] = 1;
+                progress = true;
+            }
+        }
+        dirty[q] = 1;
+    };
+
+    const auto runControl = [&](Time now) {
+        // Window signals: SLO violation rate and queued backlog per
+        // active replica since the previous control tick.
+        std::int64_t completed = 0, violated = 0;
+        for (const auto &engine : engines) {
+            completed += engine->sloStats().completed();
+            violated += engine->sloStats().violated();
+        }
+        const std::int64_t dc = completed - lastCompleted;
+        const std::int64_t dv = violated - lastViolated;
+        lastCompleted = completed;
+        lastViolated = violated;
+        const double violRate =
+            dc > 0 ? static_cast<double>(dv) / static_cast<double>(dc)
+                   : 0.0;
+        refreshViews();
+        std::size_t backlog = 0;
+        for (std::size_t i = 0; i < n; ++i)
+            backlog += live[i].queueDepth;
+        const double perActive =
+            static_cast<double>(backlog) /
+            static_cast<double>(activeCount > 0 ? activeCount : 1);
+
+        // Scale up fast, down slow (the classic asymmetry): only
+        // quiesces respect the cooldown — underprovision costs
+        // violations immediately, overprovision only efficiency.
+        if ((violRate > as.violationHigh ||
+             perActive > static_cast<double>(as.backlogHigh)) &&
+            activeCount < n) {
+            // Scale up: wake the lowest-index quiesced replica (it is
+            // built, preloaded and idle — activation is instant).
+            for (std::size_t i = 0; i < n; ++i) {
+                if (active[i])
+                    continue;
+                noteActiveChange(now);
+                active[i] = 1;
+                activeCount += 1;
+                activations += 1;
+                lastScaleAction = now;
+                live[i].acceptingWork = true;
+                break;
+            }
+        } else if (violRate < as.violationLow &&
+                   perActive <= static_cast<double>(as.backlogLow) &&
+                   activeCount > as.minReplicas &&
+                   now - lastScaleAction >= as.cooldown) {
+            // Scale down: quiesce the active replica with the least
+            // queued work (ties: highest index, so replica 0 is the
+            // stable core), provided coverage survives.
+            std::size_t q = n;
+            std::size_t qDepth = 0;
+            for (std::size_t i = 0; i < n; ++i) {
+                if (active[i] &&
+                    (q == n || live[i].queueDepth <= qDepth)) {
+                    q = i;
+                    qDepth = live[i].queueDepth;
+                }
+            }
+            if (q == n || !activeSetCovers(q))
+                return;
+            noteActiveChange(now);
+            active[q] = 0;
+            activeCount -= 1;
+            quiesces += 1;
+            lastScaleAction = now;
+            live[q].acceptingWork = false;
+            evacuate(q);
+        }
+    };
+
     // Lockstep coordination on the shared virtual clock: the next
-    // thing that happens cluster-wide is either the earliest pending
-    // replica event or the next arrival, whichever is earlier
-    // (arrivals win ties so routing sees state as of the arrival
-    // instant). Everything is driven by virtual time, so the schedule
-    // is reproducible by construction.
+    // thing that happens cluster-wide is the earliest of the next
+    // pending replica event, the next arrival, and (autoscale only)
+    // the next control tick — arrivals win ties against events so
+    // routing sees state as of the arrival instant; control ticks win
+    // ties so same-time arrivals see the post-scale active set.
+    // Everything is driven by virtual time, so the schedule is
+    // reproducible by construction.
     std::size_t next = 0;
     Time lastArrival = 0;
     for (;;) {
@@ -284,6 +577,16 @@ ClusterEngine::runOnline(const Trace &trace)
         if (tArr == kTimeNever && tEv == kTimeNever)
             break;
 
+        if (as.enabled && nextControl <= std::min(tArr, tEv)) {
+            for (std::size_t i = 0; i < n; ++i) {
+                if (engines[i]->stepUntil(nextControl) > 0)
+                    dirty[i] = 1;
+            }
+            runControl(nextControl);
+            nextControl += as.interval;
+            continue;
+        }
+
         if (tArr <= tEv) {
             // No replica event strictly precedes the arrival: advance
             // every clock to the arrival instant and route it with
@@ -293,18 +596,66 @@ ClusterEngine::runOnline(const Trace &trace)
                 if (engines[i]->stepUntil(tArr) > 0)
                     dirty[i] = 1;
             }
+            ImageArrival a = trace.arrivals[next];
+            ++next;
+
+            // Cluster-level admission: can *any* active capable
+            // replica make this deadline? Predicted from the live
+            // views with the same Section-4.2 estimate the routers
+            // use, upstream of routing.
+            if (cfg_.admission.enabled && a.deadline != kTimeNever) {
+                refreshViews();
+                Time best = kTimeNever;
+                for (std::size_t i = 0; i < n; ++i) {
+                    if (!active[i] ||
+                        !chainCapable(views[i], model, a.component))
+                        continue;
+                    best = std::min(
+                        best, predictReplicaCompletion(views[i],
+                                                       live[i], model,
+                                                       a));
+                }
+                const AdmissionVerdict verdict = admission.assess(
+                    a.cls, a.time, a.deadline, best);
+                if (verdict == AdmissionVerdict::Reject) {
+                    coordSlo.recordRejected(a.cls);
+                    coordRejected += 1;
+                    continue;
+                }
+                if (verdict == AdmissionVerdict::Downgrade) {
+                    // Scheduling class drops; the deadline stays for
+                    // violation accounting (see ServingEngine's
+                    // admitTimed).
+                    coordSlo.recordDowngraded(a.cls);
+                    a.cls = RequestClass::BestEffort;
+                }
+            }
+
             if (router->usesLiveViews())
                 refreshViews();
-            const std::size_t r =
-                router->routeLive(trace.arrivals[next], live);
+            std::size_t r = router->routeLive(a, live);
             COSERVE_CHECK(r < n, "router returned replica ", r);
-            engines[r]->admitArrival(trace.arrivals[next]);
+            if (!active[r]) {
+                // Offline-fallback routers (round-robin) ignore the
+                // acceptingWork gate: re-home onto the next active
+                // capable replica. If none exists (possible only on a
+                // pathological heterogeneous config), serve on the
+                // quiesced pick rather than lose the image.
+                for (std::size_t j = 0; j < n; ++j) {
+                    const std::size_t i = (r + j) % n;
+                    if (active[i] &&
+                        chainCapable(views[i], model, a.component)) {
+                        r = i;
+                        break;
+                    }
+                }
+            }
+            engines[r]->admitArrival(a);
             // Execute the admission's dispatch now, so a same-time
             // burst of arrivals sees each predecessor in the queues
             // rather than racing into one replica.
             engines[r]->stepUntil(tArr);
             dirty[r] = 1;
-            ++next;
         } else {
             // Replica events precede the next arrival: execute the
             // earliest round everywhere, then let idle replicas steal.
@@ -320,14 +671,18 @@ ClusterEngine::runOnline(const Trace &trace)
 
     std::vector<RunResult> results(n);
     std::int64_t images = 0;
+    std::int64_t rejected = coordRejected;
     for (std::size_t i = 0; i < n; ++i) {
+        rejected += engines[i]->rejectedImages();
         results[i] = engines[i]->finishOnline();
         images += results[i].images;
     }
-    COSERVE_CHECK(images ==
+    // Every arrival either completed somewhere or was rejected by
+    // admission (at the coordinator or at a replica).
+    COSERVE_CHECK(images + rejected ==
                       static_cast<std::int64_t>(trace.arrivals.size()),
-                  "lost images: ", images, " of ",
-                  trace.arrivals.size());
+                  "lost images: ", images, " done + ", rejected,
+                  " rejected of ", trace.arrivals.size());
 
     ClusterResult out = aggregateClusterResult(
         cfg_.label, toString(cfg_.routing), std::move(results));
@@ -337,6 +692,23 @@ ClusterEngine::runOnline(const Trace &trace)
     out.stolenToReplica = std::move(stolenTo);
     for (std::int64_t s : out.stolenFromReplica)
         out.stolenRequests += s;
+    out.workStealingEnabled = cfg_.workStealing;
+    out.slo.merge(coordSlo);
+    if (as.enabled) {
+        out.autoscaleEnabled = true;
+        out.autoscaleActivations = activations;
+        out.autoscaleQuiesces = quiesces;
+        out.autoscaleEvacuated = evacuated;
+        if (out.makespan > lastActiveMark) {
+            activeIntegral += static_cast<double>(activeCount) *
+                              static_cast<double>(out.makespan -
+                                                  lastActiveMark);
+        }
+        if (out.makespan > 0) {
+            out.avgActiveReplicas =
+                activeIntegral / static_cast<double>(out.makespan);
+        }
+    }
     appendSharedTierStats(out, sharedCpu.get());
     return out;
 }

@@ -38,6 +38,43 @@
 
 namespace coserve {
 
+/**
+ * Elastic-autoscaler knobs (online mode only). The coordinator runs a
+ * control loop on the shared virtual clock: every `interval` it
+ * compares the window's SLO violation rate and per-replica backlog
+ * against the targets and activates one more replica (scale-up) or
+ * quiesces one (scale-down: stop routing to it, evacuate its queued
+ * requests to active siblings through the steal machinery, let its
+ * in-flight work drain). Serving at night with fewer replicas
+ * concentrates request groups — fewer expert switches — while daytime
+ * peaks get the full cluster.
+ */
+struct AutoscaleConfig
+{
+    bool enabled = false;
+    /** Control period on the virtual clock. */
+    Time interval = seconds(2);
+    /** Scale up when the window's violation rate exceeds this. */
+    double violationHigh = 0.05;
+    /** Allow scale-down only when it is below this. */
+    double violationLow = 0.01;
+    /** Scale up when queued requests per active replica exceed this. */
+    std::size_t backlogHigh = 8;
+    /** Allow scale-down only at/below this backlog per active replica. */
+    std::size_t backlogLow = 2;
+    /** Never quiesce below this many active replicas. */
+    std::size_t minReplicas = 1;
+    /** Replicas active at start; 0 means minReplicas. */
+    std::size_t startReplicas = 0;
+    /**
+     * Minimum virtual time after a scale action before the next
+     * *quiesce* (anti-flap). Activations are never delayed:
+     * underprovision costs violations immediately, overprovision
+     * only efficiency.
+     */
+    Time cooldown = seconds(4);
+};
+
 /** One replica of the cluster. */
 struct ReplicaSpec
 {
@@ -105,6 +142,17 @@ struct ClusterConfig
     bool workStealing = false;
     /** Backlog a sibling must exceed before an idle replica steals. */
     std::size_t stealBacklogThreshold = 4;
+    /**
+     * Cluster-level SLO admission (online mode only): before routing,
+     * the coordinator predicts the best achievable completion across
+     * active capable replicas from the live load views and rejects or
+     * downgrades arrivals that cannot make their deadline anywhere —
+     * upstream of (and cheaper than) the per-replica admission in
+     * EngineConfig::admission. Off by default.
+     */
+    AdmissionConfig admission;
+    /** Elastic autoscaling (online mode only); see AutoscaleConfig. */
+    AutoscaleConfig autoscale;
     /**
      * The sibling's predicted backlog *time* (sum of its queues'
      * scheduler estimates) must also exceed this before stealing: the

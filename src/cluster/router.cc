@@ -114,13 +114,16 @@ class ExpertAffinityRouter : public ReplicaRouter
         // resident right now — the hash is only a stateless guess at
         // that. The hashed home wins ties, and the fallback scan
         // wraps from it, so the mapping stays sticky instead of
-        // biasing toward low replica indices.
+        // biasing toward low replica indices. Quiesced replicas
+        // (acceptingWork false, autoscaler) are skipped; the
+        // coordinator re-homes the hashed fallback if needed.
         const std::size_t hashed = capableFrom(home(e), arrival.component);
-        if (views[hashed].resident(e))
+        if (views[hashed].acceptingWork && views[hashed].resident(e))
             return hashed;
         for (std::size_t j = 1; j < replicas_.size(); ++j) {
             const std::size_t i = (hashed + j) % replicas_.size();
-            if (chainCapable(replicas_[i], model_, arrival.component) &&
+            if (views[i].acceptingWork &&
+                chainCapable(replicas_[i], model_, arrival.component) &&
                 views[i].resident(e))
                 return i;
         }
@@ -247,7 +250,11 @@ class LeastLoadedRouter : public ReplicaRouter
         std::vector<Time> &finishes = liveScratch_;
         finishes.assign(replicas_.size(), kTimeNever);
         for (std::size_t i = 0; i < replicas_.size(); ++i) {
-            if (!chainCapable(replicas_[i], model_,
+            // Quiesced replicas (autoscaler) take no new work; their
+            // finishes entry stays kTimeNever, which also disarms the
+            // affinity hysteresis below while a home is drained.
+            if (!views[i].acceptingWork ||
+                !chainCapable(replicas_[i], model_,
                               arrival.component))
                 continue;
             const ReplicaView &view = replicas_[i];

@@ -56,6 +56,7 @@ aggregateClusterResult(std::string label, std::string routing,
         out.eventsExecuted += r.eventsExecuted;
         out.makespan = std::max(out.makespan, r.makespan);
         out.switches.merge(r.switches);
+        out.slo.merge(r.slo);
         for (double x : r.requestLatencyMs.raw())
             out.requestLatencyMs.add(x);
         for (const TierStats &t : r.tiers)

@@ -42,6 +42,14 @@ struct ClusterResult
     SwitchCounters switches;
 
     /**
+     * SLO accounting merged over all replicas, plus cluster-level
+     * admission verdicts (the online coordinator may reject or
+     * downgrade an arrival before any replica sees it). Empty for
+     * classless traces.
+     */
+    SloStats slo;
+
+    /**
      * Per-tier counters of the cluster's memory hierarchy: replica
      * tiers merged by name (counters summed; capacity and occupancy
      * summed across replicas), plus one entry per cluster-shared tier
@@ -74,6 +82,27 @@ struct ClusterResult
     std::vector<std::int64_t> stolenFromReplica;
     /** Requests re-routed *to* each replica. */
     std::vector<std::int64_t> stolenToReplica;
+    /**
+     * True when the run had ClusterConfig::workStealing on. Reports
+     * gate their steal section on this flag, not on the counters:
+     * the autoscaler reuses the steal machinery to evacuate quiesced
+     * replicas, and its drains must not masquerade as steals in
+     * stealing-off output.
+     */
+    bool workStealingEnabled = false;
+
+    /**
+     * Autoscaler accounting (ClusterConfig::autoscale.enabled only).
+     */
+    bool autoscaleEnabled = false;
+    /** Scale-up actions (replica activated). */
+    std::int64_t autoscaleActivations = 0;
+    /** Scale-down actions (replica quiesced = drained). */
+    std::int64_t autoscaleQuiesces = 0;
+    /** Requests evacuated off quiescing replicas. */
+    std::int64_t autoscaleEvacuated = 0;
+    /** Time-weighted mean number of active replicas over the run. */
+    double avgActiveReplicas = 0.0;
 
     /**
      * Host wall-clock seconds spent executing the replicas (threaded

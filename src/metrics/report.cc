@@ -12,6 +12,33 @@ namespace coserve {
 namespace {
 
 void
+appendSloLines(std::ostringstream &os, const SloStats &slo,
+               Time makespan)
+{
+    // Gated on activity: classless runs print nothing here, keeping
+    // pre-SLO output byte-identical.
+    if (!slo.any())
+        return;
+    os << "  SLO goodput " << formatDouble(slo.goodput(makespan), 1)
+       << " img/s, violation rate "
+       << formatPercent(slo.violationRate()) << " (" << slo.sloMet()
+       << " met, " << slo.violated() << " violated, " << slo.rejected()
+       << " rejected, " << slo.downgraded() << " downgraded)\n";
+    for (std::size_t i = 0; i < slo.perClass.size(); ++i) {
+        const SloClassStats &c = slo.perClass[i];
+        if (c.completed == 0 && c.rejected == 0 && c.downgraded == 0)
+            continue;
+        os << "    class " << toString(static_cast<RequestClass>(i))
+           << ": " << c.completed << " done, p50/p95/p99 "
+           << formatDouble(c.latencyMs.quantile(0.50), 1) << "/"
+           << formatDouble(c.latencyMs.quantile(0.95), 1) << "/"
+           << formatDouble(c.latencyMs.quantile(0.99), 1) << " ms, "
+           << c.violated << " violated, " << c.rejected
+           << " rejected, " << c.downgraded << " downgraded\n";
+    }
+}
+
+void
 appendTierLines(std::ostringstream &os,
                 const std::vector<TierStats> &tiers)
 {
@@ -48,6 +75,7 @@ summarize(const RunResult &r)
        << formatDouble(r.requestLatencyMs.percentile(99), 1)
        << " ms, scheduling "
        << formatDouble(r.schedulingWallUs.mean(), 2) << " us/decision\n";
+    appendSloLines(os, r.slo, r.makespan);
     appendTierLines(os, r.tiers);
     return os.str();
 }
@@ -62,15 +90,27 @@ summarize(const ClusterResult &r)
     os << "  throughput " << formatDouble(r.throughput, 1)
        << " img/s, " << r.switches.total() << " expert switches, "
        << "imbalance " << formatDouble(r.imbalance(), 2);
-    if (r.stolenRequests > 0)
+    // Gated on the feature flag, not the counters: the autoscaler's
+    // quiesce-evacuations also ride the steal machinery, and must not
+    // print a steal section into stealing-off output.
+    if (r.workStealingEnabled && r.stolenRequests > 0)
         os << ", " << r.stolenRequests << " requests stolen";
     os << "\n";
+    if (r.autoscaleEnabled) {
+        os << "  autoscale: " << r.autoscaleActivations
+           << " activations, " << r.autoscaleQuiesces << " quiesces, "
+           << r.autoscaleEvacuated << " requests evacuated, avg "
+           << formatDouble(r.avgActiveReplicas, 2)
+           << " active replicas\n";
+    }
+    appendSloLines(os, r.slo, r.makespan);
     for (std::size_t i = 0; i < r.replicas.size(); ++i) {
         const RunResult &rep = r.replicas[i];
         os << "  replica " << i << ": " << rep.images << " images, "
            << formatDouble(rep.throughput, 1) << " img/s, "
            << rep.switches.total() << " switches";
-        const bool haveSteals = i < r.stolenFromReplica.size() &&
+        const bool haveSteals = r.workStealingEnabled &&
+                                i < r.stolenFromReplica.size() &&
                                 i < r.stolenToReplica.size();
         if (haveSteals && (r.stolenFromReplica[i] > 0 ||
                            r.stolenToReplica[i] > 0)) {

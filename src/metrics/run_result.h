@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "slo/slo_stats.h"
 #include "util/stats.h"
 #include "util/time.h"
 
@@ -113,6 +114,13 @@ struct RunResult
 
     SwitchCounters switches;
     std::vector<ExecutorStats> executors;
+
+    /**
+     * Per-class SLO accounting (admission verdicts, deadline hits /
+     * violations, latency sketches). Empty — and unprinted — for
+     * classless traces, which keep pre-SLO output byte-identical.
+     */
+    SloStats slo;
 
     /**
      * Per-tier hit / miss / eviction counters of the run's memory

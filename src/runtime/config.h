@@ -20,6 +20,7 @@
 #include "hw/device.h"
 #include "model/footprint_model.h"
 #include "model/latency_model.h"
+#include "slo/admission.h"
 
 namespace coserve {
 
@@ -53,6 +54,14 @@ struct EngineConfig
      * outlive the engine). Overrides cpuCacheTier / cpuCacheBytes.
      */
     TierBelow *externalCpuTier = nullptr;
+
+    /**
+     * SLO admission control (slo/admission.h): when enabled, an
+     * arrival whose predicted completion misses its deadline is
+     * downgraded or rejected at dispatch time. Off by default —
+     * classless traces never consult it.
+     */
+    AdmissionConfig admission;
 
     /** Overlap the next expert's load with the running batch (§4.2). */
     bool prefetch = true;

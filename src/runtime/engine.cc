@@ -23,7 +23,8 @@ ServingEngine::ServingEngine(EngineConfig cfg, const CoEModel &model,
                     ? cfg_.cpuCacheBytes
                     : 0,
                 TierLevel::CpuDram),
-      scheduler_(std::move(scheduler)), eviction_(std::move(eviction))
+      scheduler_(std::move(scheduler)), eviction_(std::move(eviction)),
+      admission_(cfg_.admission)
 {
     COSERVE_CHECK(scheduler_ != nullptr, "engine needs a scheduler");
     COSERVE_CHECK(eviction_ != nullptr, "engine needs an eviction policy");
@@ -352,6 +353,11 @@ ServingEngine::onInferenceComplete(Executor &exec, const Request &req,
     if (chainEnds) {
         imagesDone_ += 1;
         lastCompletion_ = std::max(lastCompletion_, eq_.now());
+        if (sloTracked(req.cls)) {
+            result_.slo.recordCompletion(
+                req.cls, toMilliseconds(eq_.now() - req.imageArrival),
+                req.deadline != kTimeNever && eq_.now() > req.deadline);
+        }
         return;
     }
 
@@ -363,6 +369,11 @@ ServingEngine::onInferenceComplete(Executor &exec, const Request &req,
     child.stage = Stage::Detect;
     child.arrival = eq_.now();
     child.defective = false;
+    // The chain keeps its image-level SLO: class, absolute deadline
+    // and the original image arrival all carry over.
+    child.cls = req.cls;
+    child.deadline = req.deadline;
+    child.imageArrival = req.imageArrival;
     dispatchTimed(child);
 }
 
@@ -385,7 +396,67 @@ ServingEngine::scheduleArrival(const ImageArrival &a)
     req.stage = Stage::Classify;
     req.arrival = a.time;
     req.defective = a.defective;
-    eq_.schedule(a.time, [this, req]() { dispatchTimed(req); });
+    req.cls = a.cls;
+    req.deadline = a.deadline;
+    req.imageArrival = a.time;
+    eq_.schedule(a.time, [this, req]() { admitTimed(req); });
+}
+
+void
+ServingEngine::admitTimed(Request req)
+{
+    if (cfg_.admission.enabled && req.deadline != kTimeNever) {
+        const AdmissionVerdict verdict = admission_.assess(
+            req.cls, req.arrival, req.deadline, predictCompletion(req));
+        if (verdict == AdmissionVerdict::Reject) {
+            result_.slo.recordRejected(req.cls);
+            imagesRejected_ += 1;
+            return;
+        }
+        if (verdict == AdmissionVerdict::Downgrade) {
+            // Demote the *scheduling* class but keep the deadline:
+            // the request yields to feasible deadline work, and its
+            // (likely late) completion is still accounted against the
+            // SLO it was given — goodput never counts a downgraded
+            // straggler as met.
+            result_.slo.recordDowngraded(req.cls);
+            req.cls = RequestClass::BestEffort;
+        }
+    }
+    dispatchTimed(req);
+}
+
+Time
+ServingEngine::predictCompletion(const Request &req) const
+{
+    const ArchId arch = archOf(req.expert);
+    const ComponentType &comp = model_.component(req.component);
+    const Time now = eq_.now();
+    Time best = kTimeNever;
+    for (std::size_t i = 0; i < executors_.size(); ++i) {
+        const Executor &exec = *executors_[i];
+        // K when an existing same-expert group absorbs the request,
+        // K + B when it opens a new one (Section 4.2) — the ground
+        // truth stands in for the profiled matrix, exactly like the
+        // scheduler's fallback path.
+        const LatencyParams &p = truth_.params(arch, exec.kind());
+        Time add = exec.queue().containsExpert(req.expert)
+                       ? p.perImage
+                       : p.perImage + p.fixed;
+        add += predictLoadTime(i, req.expert);
+        if (req.stage == Stage::Classify && comp.detector != kNoExpert) {
+            // The deadline covers the whole chain; charge the detect
+            // child's execution (its switch usually overlaps or hits
+            // an arranged group, so only K + B is added).
+            const LatencyParams &d = truth_.params(
+                archOf(comp.detector), exec.kind());
+            add += d.perImage + d.fixed;
+        }
+        const Time finish = std::max(now, exec.busyUntil()) +
+                            exec.queue().pendingWork() + add;
+        best = std::min(best, finish);
+    }
+    return best;
 }
 
 void
@@ -476,9 +547,12 @@ ServingEngine::run(const Trace &trace)
 
     eq_.run();
 
-    COSERVE_CHECK(imagesDone_ ==
+    // Every arrival either completed or was dropped at the door by
+    // admission control; anything else is a lost request.
+    COSERVE_CHECK(imagesDone_ + imagesRejected_ ==
                       static_cast<std::int64_t>(trace.arrivals.size()),
-                  "lost images: ", imagesDone_, " of ",
+                  "lost images: ", imagesDone_, " done + ",
+                  imagesRejected_, " rejected of ",
                   trace.arrivals.size());
     return collectResult();
 }
@@ -557,6 +631,7 @@ ServingEngine::fillLoadView(ReplicaLoadView &out) const
     out.idle = eq_.pending() == 0;
     out.storageFreeAt = storage_->busyUntil();
     out.gpuPressure = gpuPressure_;
+    out.acceptingWork = true; // coordinator re-applies its active set
     out.queueDepth = 0;
     out.backlog = 0;
     out.executors.clear();

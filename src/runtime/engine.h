@@ -53,6 +53,14 @@ struct ReplicaLoadView
     Time storageFreeAt = 0;
     /** GPU load slowdown under memory pressure (engine's model). */
     double gpuPressure = 1.0;
+    /**
+     * Coordinator-owned routing gate (the engine never writes it):
+     * false while the autoscaler has this replica quiesced — routers
+     * must not send new arrivals, though in-flight work still drains.
+     * fillLoadView() resets it to true; the coordinator re-applies
+     * the active set after every refresh.
+     */
+    bool acceptingWork = true;
     /** Per-executor load components (see executors below). */
     struct ExecutorLoad
     {
@@ -251,6 +259,25 @@ class ServingEngine
     void onInferenceComplete(Executor &exec, const Request &req,
                              Time batchLatency);
 
+    // ----- SLO layer -------------------------------------------------
+
+    /**
+     * Predicted completion time of @p req dispatched right now: the
+     * earliest over executors of (as-is finish + Section-4.2
+     * additional latency + switch), plus the detect child's execution
+     * when the component chains one — the admission controller's
+     * feasibility estimate. Uses the ground-truth latency model (the
+     * engine has no profiled matrix), matching the scheduler's
+     * fallback path.
+     */
+    Time predictCompletion(const Request &req) const;
+
+    /** SLO accounting so far (admission verdicts, completions). */
+    const SloStats &sloStats() const { return result_.slo; }
+
+    /** Arrivals dropped by admission control so far. */
+    std::int64_t rejectedImages() const { return imagesRejected_; }
+
     /** Maximum executable batch size on executor @p i for @p arch. */
     int maxExecutableBatch(const Executor &exec, ArchId arch) const;
 
@@ -287,6 +314,12 @@ class ServingEngine
     RequestId allocRequestId();
     /** Build a classify request for @p a and schedule its dispatch. */
     void scheduleArrival(const ImageArrival &a);
+    /**
+     * Arrival-time admission: consult the controller (enabled configs
+     * only), then dispatch — or drop/downgrade. Runs at the arrival's
+     * virtual time, so the feasibility estimate sees live queue state.
+     */
+    void admitTimed(Request req);
     void dispatchTimed(const Request &req);
     ArchId archOf(ExpertId e) const;
     /** Fastest available source for loading @p e into GPU memory. */
@@ -321,6 +354,7 @@ class ServingEngine
 
     std::unique_ptr<Scheduler> scheduler_;
     std::unique_ptr<EvictionPolicy> eviction_;
+    AdmissionController admission_;
 
     double gpuPressure_ = 1.0;
     std::uint64_t loadSeq_ = 0;
@@ -330,6 +364,8 @@ class ServingEngine
     /** Id increment; > 1 only for cluster-coordinated online runs. */
     RequestId requestIdStride_ = 1;
     std::int64_t imagesDone_ = 0;
+    /** Arrivals dropped by admission (images + rejected == arrivals). */
+    std::int64_t imagesRejected_ = 0;
     Time lastCompletion_ = 0;
     bool ran_ = false;
     bool online_ = false;

@@ -29,15 +29,25 @@ Executor::maybeStart()
     if (executing_ || queue_.empty())
         return;
 
-    const ExpertId e = queue_.headExpert();
+    // EDF-within-priority pop order: the most urgent group runs next.
+    // Classless queues answer their head group in O(1), keeping the
+    // pre-SLO schedule bit-for-bit.
+    const ExpertId e = queue_.nextBatchExpert();
     if (pool_.resident(e)) {
-        startBatch();
+        startBatch(e);
         return;
     }
     if (pool_.loading(e))
         return; // onLoadFinished() resumes us.
+    // An SLO queue may re-select while an earlier choice's demand load
+    // is in flight (a more urgent arrival changed the pick): wait for
+    // that load instead of stacking demand loads. Unreachable for
+    // classless queues — their selection is pinned to the (stable)
+    // head, whose load the branch above already caught.
+    if (demandLoadStart_ >= 0)
+        return;
 
-    // Demand switch: the head expert must be fetched before we can run.
+    // Demand switch: the next expert must be fetched before we can run.
     demandLoadStart_ = engine_.now();
     const bool started = engine_.startLoad(*this, e, /*isPrefetch=*/false);
     COSERVE_CHECK(started, "demand load failed for expert ", e, " on ",
@@ -63,12 +73,11 @@ Executor::clearSoftPinIf(ExpertId e)
 }
 
 void
-Executor::startBatch()
+Executor::startBatch(ExpertId e)
 {
-    const ExpertId e = queue_.headExpert();
     const ArchId arch = engine_.model().expert(e).arch;
     const int maxBatch = engine_.maxExecutableBatch(*this, arch);
-    queue_.popBatchInto(maxBatch, batchScratch_);
+    queue_.popBatchFor(e, maxBatch, batchScratch_);
     COSERVE_CHECK(!batchScratch_.empty(), "empty batch");
 
     pool_.pin(e);
@@ -117,7 +126,7 @@ Executor::issuePrefetch()
 {
     if (!engine_.config().prefetch)
         return;
-    const ExpertId next = queue_.nextDistinctExpert();
+    const ExpertId next = queue_.prefetchExpert();
     if (next == kNoExpert || pool_.contains(next))
         return;
     if (engine_.startLoad(*this, next, /*isPrefetch=*/true)) {

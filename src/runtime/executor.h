@@ -108,7 +108,8 @@ class Executor
     const std::string &name() const { return name_; }
 
   private:
-    void startBatch();
+    /** @param e batch expert, the caller's nextBatchExpert() pick. */
+    void startBatch(ExpertId e);
     void issuePrefetch();
 
     ServingEngine &engine_;

@@ -375,4 +375,26 @@ SharedCpuTier::diskStats() const
     return disk_.stats();
 }
 
+std::size_t
+SharedCpuTier::hintUpcomingLoads(const std::vector<ExpertId> &experts)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t protectedCount = 0;
+    for (ExpertId e : experts) {
+        if (!tier_.holds(e))
+            continue;
+        tier_.refresh(e, ++tick_);
+        protectedCount += 1;
+    }
+    stealHintsProtected_ += static_cast<std::int64_t>(protectedCount);
+    return protectedCount;
+}
+
+std::int64_t
+SharedCpuTier::stealHintsProtected() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stealHintsProtected_;
+}
+
 } // namespace coserve

@@ -390,12 +390,32 @@ class SharedCpuTier : public TierBelow
      */
     TierStats diskStats() const;
 
+    /**
+     * Steal-aware admission hint: the cluster coordinator just
+     * re-routed requests, and the thief is about to demand-load
+     * @p experts. Any of them resident here are refreshed to the
+     * newest recency under one lock, so sibling evictions between the
+     * steal and the thief's loads will not push out exactly the
+     * experts the steal made hot again (turning the thief's cheap
+     * DRAM adoption into a full SSD reload). A recency bump rather
+     * than a pin: it cannot wedge the tier when a hinted load never
+     * materializes (e.g. the thief already held the expert).
+     *
+     * @return number of hinted experts found (and protected) here.
+     */
+    std::size_t hintUpcomingLoads(const std::vector<ExpertId> &experts);
+
+    /** Total experts protected by steal hints (tests / reports). */
+    std::int64_t stealHintsProtected() const;
+
   private:
     mutable std::mutex mutex_;
     MemoryTier tier_;
     DiskTier disk_;
     /** Cross-replica recency clock (see class comment). */
     Time tick_ = 0;
+    /** Cumulative hintUpcomingLoads protections. */
+    std::int64_t stealHintsProtected_ = 0;
 };
 
 } // namespace coserve

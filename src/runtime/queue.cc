@@ -70,6 +70,22 @@ RequestQueue::unlinkHead()
 }
 
 void
+RequestQueue::unlinkNode(NodeIdx node)
+{
+    Node &n = nodes_[node];
+    if (n.prev != kNil)
+        nodes_[n.prev].next = n.next;
+    else
+        head_ = n.next;
+    if (n.next != kNil)
+        nodes_[n.next].prev = n.prev;
+    else
+        tail_ = n.prev;
+    freeNodes_.push_back(node);
+    --size_;
+}
+
+void
 RequestQueue::appendTail(const Request &req, Time estimate)
 {
     const NodeIdx node = allocNode(req, estimate);
@@ -128,6 +144,157 @@ RequestQueue::popBatchInto(int maxCount, std::vector<Request> &out)
         noteRemoved(head_);
         out.push_back(std::move(nodes_[head_].entry.req));
         unlinkHead();
+    }
+}
+
+namespace {
+
+/** Strict "more urgent than": higher priority, then earlier EDF. */
+inline bool
+moreUrgent(int prio, Time deadline, int thanPrio, Time thanDeadline)
+{
+    return prio > thanPrio ||
+           (prio == thanPrio && deadline < thanDeadline);
+}
+
+} // namespace
+
+ExpertId
+RequestQueue::bestExpert() const
+{
+    if (head_ == kNil)
+        return kNoExpert;
+    if (sloUrgent_ == 0) {
+        // Plain queue: head group pops first, exactly as pre-SLO.
+        return nodes_[head_].entry.req.expert;
+    }
+    ExpertId best = kNoExpert;
+    int bestPrio = 0;
+    Time bestDeadline = kTimeNever;
+    for (NodeIdx i = head_; i != kNil; i = nodes_[i].next) {
+        const Request &r = nodes_[i].entry.req;
+        const int prio = priorityOf(r.cls);
+        if (best == kNoExpert ||
+            moreUrgent(prio, r.deadline, bestPrio, bestDeadline)) {
+            best = r.expert;
+            bestPrio = prio;
+            bestDeadline = r.deadline;
+        }
+    }
+    return best;
+}
+
+ExpertId
+RequestQueue::prefetchExpert() const
+{
+    if (sloUrgent_ == 0)
+        return nextDistinctExpert();
+    // One pass tracking the two most urgent *distinct* experts (the
+    // per-expert maximum urgency decides): the runner-up is the group
+    // that runs after the next one — the prefetch target.
+    ExpertId best = kNoExpert, second = kNoExpert;
+    int bestPrio = 0, secondPrio = 0;
+    Time bestDl = kTimeNever, secondDl = kTimeNever;
+    for (NodeIdx i = head_; i != kNil; i = nodes_[i].next) {
+        const Request &r = nodes_[i].entry.req;
+        const int prio = priorityOf(r.cls);
+        if (r.expert == best) {
+            if (moreUrgent(prio, r.deadline, bestPrio, bestDl)) {
+                bestPrio = prio;
+                bestDl = r.deadline;
+            }
+        } else if (r.expert == second) {
+            if (moreUrgent(prio, r.deadline, secondPrio, secondDl)) {
+                secondPrio = prio;
+                secondDl = r.deadline;
+                // The runner-up's accumulated urgency may overtake.
+                if (moreUrgent(secondPrio, secondDl, bestPrio,
+                               bestDl)) {
+                    std::swap(best, second);
+                    std::swap(bestPrio, secondPrio);
+                    std::swap(bestDl, secondDl);
+                }
+            }
+        } else if (best == kNoExpert ||
+                   moreUrgent(prio, r.deadline, bestPrio, bestDl)) {
+            second = best;
+            secondPrio = bestPrio;
+            secondDl = bestDl;
+            best = r.expert;
+            bestPrio = prio;
+            bestDl = r.deadline;
+        } else if (second == kNoExpert ||
+                   moreUrgent(prio, r.deadline, secondPrio,
+                              secondDl)) {
+            second = r.expert;
+            secondPrio = prio;
+            secondDl = r.deadline;
+        }
+    }
+    return second;
+}
+
+void
+RequestQueue::popBatchFor(ExpertId e, int maxCount,
+                          std::vector<Request> &out)
+{
+    COSERVE_CHECK(maxCount >= 1, "batch of ", maxCount);
+    COSERVE_CHECK(e != kNoExpert && containsExpert(e),
+                  "popBatchFor on absent expert ", e);
+
+    out.clear();
+    NodeIdx start = head_;
+    while (nodes_[start].entry.req.expert != e)
+        start = nodes_[start].next;
+    if (sloUrgent_ > 0 && plainInserts_) {
+        // A FIFO-interleaved queue may hold several disjoint runs of
+        // @p e; the first run may contain only old deadline-less work
+        // while the urgency that selected @p e sits in a later run.
+        // Pop the run holding the most urgent member, or EDF would
+        // invert behind the very request it chose to serve.
+        NodeIdx urgent = start;
+        int bestPrio = priorityOf(nodes_[start].entry.req.cls);
+        Time bestDl = nodes_[start].entry.req.deadline;
+        for (NodeIdx i = nodes_[start].next; i != kNil;
+             i = nodes_[i].next) {
+            const Request &r = nodes_[i].entry.req;
+            if (r.expert != e)
+                continue;
+            const int prio = priorityOf(r.cls);
+            if (moreUrgent(prio, r.deadline, bestPrio, bestDl)) {
+                urgent = i;
+                bestPrio = prio;
+                bestDl = r.deadline;
+            }
+        }
+        start = urgent;
+        while (nodes_[start].prev != kNil &&
+               nodes_[nodes_[start].prev].entry.req.expert == e)
+            start = nodes_[start].prev;
+    }
+    // Pop the contiguous run (the whole group under grouped
+    // insertion); scattered same-expert requests in other runs stay
+    // in place, matching popBatchInto's head-run semantics.
+    NodeIdx i = start;
+    while (i != kNil && out.size() < static_cast<std::size_t>(maxCount) &&
+           nodes_[i].entry.req.expert == e) {
+        const NodeIdx next = nodes_[i].next;
+        // Same hand-off stealFromTail performs: removing the group's
+        // last occurrence while earlier (other-run) members survive
+        // must re-point GroupInfo::last at the nearest earlier
+        // same-expert node, or the index dangles on a freed node.
+        GroupInfo &info = groups_[e];
+        if (info.count > 1 && info.last == i) {
+            NodeIdx p = nodes_[i].prev;
+            while (p != kNil && nodes_[p].entry.req.expert != e)
+                p = nodes_[p].prev;
+            COSERVE_CHECK(p != kNil, "queue group lost on pop");
+            info.last = p;
+        }
+        noteRemoved(i);
+        out.push_back(std::move(nodes_[i].entry.req));
+        unlinkNode(i);
+        i = next;
     }
 }
 
@@ -205,6 +372,17 @@ RequestQueue::snapshot() const
     return out;
 }
 
+namespace {
+
+/** Does @p r participate in the EDF-within-priority pop order? */
+inline bool
+sloUrgent(const Request &r)
+{
+    return r.deadline != kTimeNever || priorityOf(r.cls) != 0;
+}
+
+} // namespace
+
 void
 RequestQueue::noteInserted(NodeIdx node)
 {
@@ -215,6 +393,8 @@ RequestQueue::noteInserted(NodeIdx node)
     info.last = node;
     info.count += 1;
     pendingWork_ += nodes_[node].entry.estimate;
+    if (sloUrgent(nodes_[node].entry.req))
+        sloUrgent_ += 1;
 }
 
 void
@@ -232,6 +412,10 @@ RequestQueue::noteRemoved(NodeIdx node)
         info.last = kNil;
     }
     pendingWork_ -= nodes_[node].entry.estimate;
+    if (sloUrgent(nodes_[node].entry.req)) {
+        COSERVE_CHECK(sloUrgent_ > 0, "urgent count underflow");
+        sloUrgent_ -= 1;
+    }
 }
 
 } // namespace coserve

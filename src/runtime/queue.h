@@ -76,6 +76,49 @@ class RequestQueue
      */
     void popBatchInto(int maxCount, std::vector<Request> &out);
 
+    // ----- SLO-aware (EDF-within-priority) pop order ------------------
+
+    /**
+     * @return true when some queued request carries SLO urgency (a
+     *         non-default priority or a deadline) — the gate for the
+     *         EDF pop order. A queue of classless requests reports
+     *         false and behaves exactly as before the SLO layer.
+     */
+    bool sloOrdered() const { return sloUrgent_ > 0; }
+
+    /**
+     * Expert of the next batch to execute. Plain queues (sloOrdered()
+     * false) answer the head expert in O(1); SLO-ordered queues scan
+     * for the group holding the most urgent request — highest class
+     * priority first, earliest deadline within a priority (EDF), queue
+     * position as the tie-break. The pooled intrusive layout and the
+     * per-expert group index are untouched: urgency changes which
+     * group *pops* next, never where requests sit. kNoExpert when
+     * empty.
+     */
+    ExpertId nextBatchExpert() const { return bestExpert(); }
+
+    /**
+     * Prefetch target under the same order: the expert of the batch
+     * that will run *after* the next one (the executor prefetches one
+     * group ahead while a batch executes). Equals nextDistinctExpert()
+     * for plain queues; SLO-ordered queues compute the two most
+     * urgent distinct experts in one scan and answer the runner-up.
+     */
+    ExpertId prefetchExpert() const;
+
+    /**
+     * Pop up to @p maxCount same-expert requests of @p e: the
+     * contiguous run *containing the most urgent @p e request* (the
+     * whole group under grouped insertion — and the first run when
+     * nothing is urgent, so popBatchFor(headExpert()) on a classless
+     * queue is exactly popBatchInto()). A FIFO-interleaved queue may
+     * hold several disjoint runs of @p e; starting from the urgent
+     * one keeps the EDF promise that the selected request actually
+     * runs in the popped batch. @p e must be queued.
+     */
+    void popBatchFor(ExpertId e, int maxCount, std::vector<Request> &out);
+
     /**
      * Expert of the first request group after the head group; used as
      * the prefetch target. kNoExpert when the queue has one group.
@@ -159,10 +202,13 @@ class RequestQueue
     NodeIdx allocNode(const Request &req, Time estimate);
     void linkAfter(NodeIdx pos, NodeIdx node); // pos == kNil: at head
     void unlinkHead();
+    void unlinkNode(NodeIdx node);
     void noteInserted(NodeIdx node);
     void noteRemoved(NodeIdx node);
     void appendTail(const Request &req, Time estimate);
     GroupInfo &groupFor(ExpertId e);
+    /** Most urgent group's expert (head group when nothing urgent). */
+    ExpertId bestExpert() const;
 
     std::vector<Node> nodes_;
     std::vector<NodeIdx> freeNodes_;
@@ -171,6 +217,12 @@ class RequestQueue
     std::size_t size_ = 0;
     std::vector<GroupInfo> groups_;
     Time pendingWork_ = 0;
+    /**
+     * Queued requests carrying SLO urgency (non-default priority or a
+     * deadline). Zero — every classless trace — keeps the pop order on
+     * the O(1) head-group fast path.
+     */
+    std::size_t sloUrgent_ = 0;
     /**
      * True once a plain (FIFO) pushBack interleaved with the queue's
      * contents. Under pure grouped insertion every expert's requests

@@ -18,8 +18,10 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "coe/coe_model.h"
+#include "slo/request_class.h"
 #include "workload/trace.h"
 
 namespace coserve {
@@ -34,6 +36,14 @@ enum class ArrivalProcess
     /** Bursts of `burstSize` back-to-back images every
      *  `burstSize * interarrival` (panel-at-a-time camera feeds). */
     Bursty,
+    /**
+     * Markov-modulated Poisson process: Poisson arrivals whose rate
+     * switches between a calm state (mean gap `interarrival`) and a
+     * burst state (`interarrival / mmppBurstFactor`), with
+     * exponentially-distributed dwell times — the classic model of
+     * bursty open-loop serving traffic.
+     */
+    MMPP,
 };
 
 /** Parameters of one evaluation task. */
@@ -47,11 +57,68 @@ struct TaskSpec
     ArrivalProcess arrivals = ArrivalProcess::Fixed;
     /** Images per burst (Bursty only). */
     int burstSize = 32;
+    /** Burst-state rate multiplier (MMPP only). */
+    double mmppBurstFactor = 8.0;
+    /** Mean dwell time in the calm state (MMPP only). */
+    Time mmppMeanCalm = seconds(2);
+    /** Mean dwell time in the burst state (MMPP only). */
+    Time mmppMeanBurst = milliseconds(250);
     std::uint64_t seed = 42;
 };
 
 /** Generate a trace for @p task against @p model. */
 Trace generateTrace(const CoEModel &model, const TaskSpec &task);
+
+// ------------------------------------------------- SLO-classed traffic
+
+/**
+ * One tenant of a multi-tenant SLO workload: an independent open-loop
+ * arrival stream whose requests share a class and a latency budget.
+ * Streams from all tenants are merged into one time-sorted trace.
+ */
+struct TenantSpec
+{
+    std::string name;
+    RequestClass cls = RequestClass::Interactive;
+    /** Mean arrival rate in images per second. */
+    double ratePerSec = 50.0;
+    /**
+     * Per-image latency budget: deadline = arrival + budget.
+     * kTimeNever generates deadline-less requests (best-effort).
+     */
+    Time latencyBudget = kTimeNever;
+    /** Poisson (open-loop) or MMPP (bursty); others are rejected. */
+    ArrivalProcess arrivals = ArrivalProcess::Poisson;
+    /** Burst-state rate multiplier (MMPP only). */
+    double mmppBurstFactor = 8.0;
+    /** Mean dwell time in the calm state (MMPP only). */
+    Time mmppMeanCalm = seconds(2);
+    /** Mean dwell time in the burst state (MMPP only). */
+    Time mmppMeanBurst = milliseconds(250);
+    /**
+     * Diurnal modulation depth in [0, 1): the instantaneous rate is
+     * ratePerSec * (1 + amplitude * sin(2*pi*t/period + phase)), so
+     * the tenant's "day" peaks at (1+A)x and its "night" troughs at
+     * (1-A)x. 0 keeps the rate flat.
+     */
+    double diurnalAmplitude = 0.0;
+    /** Period of the diurnal cycle (a sped-up "day"). */
+    Time diurnalPeriod = seconds(60);
+    /** Phase offset in radians (tenants can peak at different times). */
+    double diurnalPhase = 0.0;
+};
+
+/**
+ * Generate a multi-tenant SLO trace: each tenant's stream is drawn
+ * independently (Poisson thinning implements the diurnal modulation),
+ * spans [0, duration), and the merged trace is sorted by time with a
+ * deterministic (time, tenant) tie-break. Components and defect
+ * outcomes are pre-rolled per tenant from @p seed, so the trace is
+ * bit-reproducible.
+ */
+Trace generateSloTrace(const CoEModel &model,
+                       const std::vector<TenantSpec> &tenants,
+                       Time duration, std::uint64_t seed);
 
 /** Task A1: 2,500 requests of Circuit Board A. */
 TaskSpec taskA1();

@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "coe/coe_model.h"
+#include "slo/request_class.h"
 #include "util/time.h"
 
 namespace coserve {
@@ -41,6 +42,20 @@ struct Request
      * defect (ends the chain). Carried in the trace for determinism.
      */
     bool defective = false;
+    /** SLO class; chains inherit it (None = classless, the default). */
+    RequestClass cls = RequestClass::None;
+    /**
+     * Absolute end-to-end deadline for the *image* (the whole chain);
+     * a detect child inherits its parent's. kTimeNever means none.
+     */
+    Time deadline = kTimeNever;
+    /**
+     * Arrival time of the image that started the chain: equals
+     * `arrival` for classify requests, is inherited by detect children
+     * (whose own arrival is their spawn time) — SLO latency is
+     * measured end to end from here.
+     */
+    Time imageArrival = 0;
 };
 
 } // namespace coserve

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "coe/coe_model.h"
+#include "slo/request_class.h"
 #include "util/time.h"
 
 namespace coserve {
@@ -20,6 +21,10 @@ struct ImageArrival
     ComponentId component = -1;
     /** Pre-rolled classification outcome (deterministic replays). */
     bool defective = false;
+    /** SLO class; None (default) carries no SLO semantics at all. */
+    RequestClass cls = RequestClass::None;
+    /** Absolute end-to-end deadline; kTimeNever means none. */
+    Time deadline = kTimeNever;
 };
 
 /** A full task: continuously arriving images (paper Section 5.1). */

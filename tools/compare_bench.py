@@ -7,14 +7,18 @@ noisy for a hard perf gate, but a >25% drop on every scenario is worth
 a look. Emits GitHub Actions ``::warning::`` annotations so the drop is
 visible on the workflow run without breaking the build.
 
-Two additional warn-only gates:
+Two additional gates:
 
-- ``--require NAME`` (repeatable) insists that a scenario is present in
-  both files — e.g. ``--require cluster_4x`` keeps the cluster
-  events/sec series from silently dropping out of the perf harness.
-- ``sim_throughput_img_per_sec`` fields are compared for *exact*
-  equality: simulated metrics are deterministic, so any drift across a
-  host-only perf change is a determinism bug, not noise.
+- ``--require NAME`` (repeatable, warn-only) insists that a scenario is
+  present in both files — e.g. ``--require cluster_4x`` keeps the
+  cluster events/sec series from silently dropping out of the perf
+  harness.
+- every ``sim_*`` field (simulated throughput, goodput, ...) is
+  compared for *exact* equality, and a mismatch **fails** (exit 1):
+  simulated metrics are deterministic, so any drift across a host-only
+  perf change is a determinism bug, not noise. A commit that
+  intentionally changes the simulation must refresh
+  bench/BENCH_baseline.json in the same change.
 
 Usage: compare_bench.py BASELINE CURRENT [--threshold 0.25]
        [--require SCENARIO]...
@@ -50,6 +54,7 @@ def main() -> int:
         current = json.load(f)
 
     warnings = 0
+    determinism_failures = 0
     for scenario in args.require:
         # Required-but-absent-from-current is already warned by the
         # per-scenario loop below whenever the baseline can compare it
@@ -66,42 +71,75 @@ def main() -> int:
         cur = current.get(scenario)
         if base_eps is None:
             continue
-        if cur is None or "events_per_sec" not in cur:
-            print(f"::warning::perf scenario '{scenario}' missing from "
-                  f"{args.current}")
-            warnings += 1
+        if cur is None:
+            # A vanished scenario that pinned sim_* metrics defeats
+            # the determinism gate wholesale: hard-fail it, exactly as
+            # a field-level drift would be. Pin-less scenarios only
+            # warn (perf series are allowed to evolve).
+            pinned = sorted(f for f in base if f.startswith("sim_"))
+            if pinned:
+                print(f"::error::scenario '{scenario}' with pinned "
+                      f"sim metrics {pinned} missing from "
+                      f"{args.current} — remove it from "
+                      f"bench/BENCH_baseline.json if it was "
+                      f"intentionally retired")
+                determinism_failures += 1
+            else:
+                print(f"::warning::perf scenario '{scenario}' missing "
+                      f"from {args.current}")
+                warnings += 1
             continue
-        cur_eps = cur["events_per_sec"]
-        delta = (cur_eps - base_eps) / base_eps
-        marker = ""
-        if delta < -args.threshold:
-            print(f"::warning::perf regression in '{scenario}': "
-                  f"{cur_eps:,.0f} events/s vs baseline "
-                  f"{base_eps:,.0f} ({delta:+.1%}, threshold "
-                  f"-{args.threshold:.0%})")
+        if "events_per_sec" not in cur:
+            # Scenario present but its perf series gone: warn, and
+            # still run the sim determinism checks below.
+            print(f"::warning::perf scenario '{scenario}' missing "
+                  f"events_per_sec in {args.current}")
             warnings += 1
-            marker = "  <-- regression"
-        print(f"{scenario}: {cur_eps:,.0f} events/s "
-              f"(baseline {base_eps:,.0f}, {delta:+.1%}){marker}")
+        else:
+            cur_eps = cur["events_per_sec"]
+            delta = (cur_eps - base_eps) / base_eps
+            marker = ""
+            if delta < -args.threshold:
+                print(f"::warning::perf regression in '{scenario}': "
+                      f"{cur_eps:,.0f} events/s vs baseline "
+                      f"{base_eps:,.0f} ({delta:+.1%}, threshold "
+                      f"-{args.threshold:.0%})")
+                warnings += 1
+                marker = "  <-- regression"
+            print(f"{scenario}: {cur_eps:,.0f} events/s "
+                  f"(baseline {base_eps:,.0f}, {delta:+.1%}){marker}")
 
-        # Determinism guard: simulated throughput must not move at all
-        # unless the simulation itself intentionally changed (in which
-        # case the baseline should be refreshed in the same commit).
-        base_sim = base.get("sim_throughput_img_per_sec")
-        cur_sim = cur.get("sim_throughput_img_per_sec")
-        if base_sim is not None and cur_sim is not None \
-                and cur_sim != base_sim:
-            print(f"::warning::sim determinism drift in '{scenario}': "
-                  f"sim_throughput_img_per_sec {cur_sim!r} vs baseline "
-                  f"{base_sim!r} — refresh bench/BENCH_baseline.json if "
-                  f"this change touched the simulation")
-            warnings += 1
+        # Determinism guard (hard): simulated metrics must not move at
+        # all unless the simulation itself intentionally changed (in
+        # which case the baseline must be refreshed in the same
+        # commit).
+        for field in sorted(base):
+            if not field.startswith("sim_"):
+                continue
+            base_sim = base[field]
+            cur_sim = cur.get(field)
+            if cur_sim is None:
+                # A vanished series defeats the gate as surely as a
+                # drifted one: fail, don't skip.
+                print(f"::error::sim determinism field '{field}' of "
+                      f"'{scenario}' missing from {args.current} — "
+                      f"remove it from bench/BENCH_baseline.json if "
+                      f"the scenario intentionally dropped it")
+                determinism_failures += 1
+            elif cur_sim != base_sim:
+                print(f"::error::sim determinism drift in "
+                      f"'{scenario}': {field} {cur_sim!r} vs baseline "
+                      f"{base_sim!r} — refresh "
+                      f"bench/BENCH_baseline.json if this change "
+                      f"touched the simulation")
+                determinism_failures += 1
 
-    if warnings == 0:
+    if warnings == 0 and determinism_failures == 0:
         print(f"all scenarios within {args.threshold:.0%} of baseline, "
               f"sim metrics byte-identical")
-    # Warn-only gate: always succeed.
-    return 0
+    # Perf deltas are warn-only (noisy CI boxes); determinism is a
+    # hard gate.
+    return 1 if determinism_failures else 0
 
 
 if __name__ == "__main__":
