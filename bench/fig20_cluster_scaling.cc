@@ -46,7 +46,7 @@ sweep(const DeviceSpec &dev, const CoEModel &model)
             ClusterEngine cluster(homogeneousCluster(
                 h.context(), cfg, replicas, policy,
                 "fig20"));
-            const ClusterResult r = cluster.run(trace);
+            const ClusterResult r = cluster.run(trace, RunOptions{});
             if (replicas == 1 &&
                 policy == RoutingPolicy::RoundRobin)
                 base = r.throughput;

@@ -71,10 +71,10 @@ sharedVsPrivate(Harness &h, const Trace &trace)
     for (bool shared : {false, true}) {
         ClusterConfig cc = homogeneousCluster(
             h.context(), cfg, 4, RoutingPolicy::LeastLoaded, "fig21");
-        cc.shareCpuTier = shared;
+        cc.sharedCpu.enabled = shared;
         cc.parallel = false; // reproducible shared-tier population
         ClusterEngine cluster(std::move(cc));
-        const ClusterResult r = cluster.run(trace);
+        const ClusterResult r = cluster.run(trace, RunOptions{});
         const TierStats *tier =
             findTierStats(r.tiers, shared ? "cpu.shared" : "cpu.cache");
         const double rate = tier ? tier->hitRate() : 0.0;
@@ -113,7 +113,7 @@ heterogeneousSmoke(const Trace &trace)
         RoutingPolicy::LeastLoaded, "fig21-hetero");
     cc.parallel = false;
     ClusterEngine cluster(std::move(cc));
-    const ClusterResult r = cluster.run(trace);
+    const ClusterResult r = cluster.run(trace, RunOptions{});
 
     Table t({"Replica", "Device", "Images", "Throughput (img/s)"});
     const char *devNames[] = {"NUMA", "NUMA", "UMA", "UMA"};

@@ -76,10 +76,12 @@ skewedTrace(const CoEModel &model, std::size_t numImages,
 ClusterResult
 runMode(ClusterConfig cc, Mode mode, const Trace &trace)
 {
-    cc.onlineRouting = mode != Mode::Static;
-    cc.workStealing = mode == Mode::OnlineSteal;
+    cc.workStealing.enabled = mode == Mode::OnlineSteal;
     ClusterEngine cluster(std::move(cc));
-    return cluster.run(trace);
+    return cluster.run(trace,
+                       runWithMode(mode == Mode::Static
+                                       ? RunMode::Static
+                                       : RunMode::Online));
 }
 
 } // namespace

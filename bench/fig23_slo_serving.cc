@@ -116,7 +116,7 @@ modeConfig(const Harness &h, const EngineConfig &cfg, Mode mode,
     if (mode == Mode::Static)
         return cc;
     cc.onlineRouting = true;
-    cc.workStealing = true;
+    cc.workStealing.enabled = true;
     cc.admission.enabled = true;
     cc.admission.slack = 1.25;
     if (mode == Mode::OnlineAutoscale) {
@@ -204,7 +204,7 @@ main()
              {Mode::Static, Mode::Online, Mode::OnlineAutoscale}) {
             ClusterEngine cluster(
                 modeConfig(h, cfg, mode, "fig23"));
-            const ClusterResult r = cluster.run(*tc.trace);
+            const ClusterResult r = cluster.run(*tc.trace, RunOptions{});
             const double goodput = r.slo.goodput(r.makespan);
             if (tc.trace == &diurnal) {
                 if (mode == Mode::Static)

@@ -176,20 +176,23 @@ main(int argc, char **argv)
         std::uint64_t events = 0;
         double wall = 0.0, throughput = 0.0;
         std::int64_t images = 0;
+        std::uint64_t digest = 0;
         for (int i = 0; i < kIters; ++i) {
             ClusterEngine cluster(homogeneousCluster(
                 h.context(), cfg, 4, RoutingPolicy::LeastLoaded,
                 "perf-smoke"));
-            const ClusterResult r = cluster.run(trace);
+            const ClusterResult r = cluster.run(trace, RunOptions{});
             wall += r.wallSeconds;
             events += r.eventsExecuted;
             if (i > 0) {
                 COSERVE_CHECK(r.images == images &&
-                                  r.throughput == throughput,
+                                  r.throughput == throughput &&
+                                  r.decisionDigest == digest,
                               "cluster_4x iterations diverged");
             }
             images = r.images;
             throughput = r.throughput;
+            digest = r.decisionDigest;
         }
         const double eps = static_cast<double>(events) / wall;
         json.scenario("cluster_4x");
@@ -198,6 +201,14 @@ main(int argc, char **argv)
         json.field("events_per_sec", eps);
         json.field("images", static_cast<double>(images));
         json.field("sim_throughput_img_per_sec", throughput);
+        // 32-bit halves: exactly representable as JSON doubles, and
+        // sim_-prefixed so compare_bench treats any drift as hard-fail.
+        json.field("sim_digest_hi",
+                   static_cast<double>(
+                       static_cast<std::uint32_t>(digest >> 32)));
+        json.field("sim_digest_lo",
+                   static_cast<double>(
+                       static_cast<std::uint32_t>(digest)));
         t.addRow({"cluster_4x", std::to_string(events / kIters),
                   formatDouble(wall * 1e3 / kIters, 1),
                   formatDouble(eps, 0), formatDouble(throughput, 1)});
@@ -238,30 +249,33 @@ main(int argc, char **argv)
         std::uint64_t events = 0;
         double wall = 0.0, throughput = 0.0, goodput = 0.0;
         std::int64_t images = 0;
+        std::uint64_t digest = 0;
         for (int i = 0; i < kIters; ++i) {
             ClusterConfig cc = homogeneousCluster(
                 h.context(), cfg, 4, RoutingPolicy::LeastLoaded,
                 "perf-slo");
-            cc.onlineRouting = true;
-            cc.workStealing = true;
+            cc.workStealing.enabled = true;
             cc.admission.enabled = true;
             cc.admission.slack = 1.25;
             cc.autoscale.enabled = true;
             cc.autoscale.interval = seconds(1);
             cc.autoscale.cooldown = seconds(2);
             ClusterEngine cluster(std::move(cc));
-            const ClusterResult r = cluster.run(slo);
+            const ClusterResult r =
+                cluster.run(slo, runWithMode(RunMode::Online));
             wall += r.wallSeconds;
             events += r.eventsExecuted;
             if (i > 0) {
                 COSERVE_CHECK(r.images == images &&
                                   r.throughput == throughput &&
-                                  r.slo.goodput(r.makespan) == goodput,
+                                  r.slo.goodput(r.makespan) == goodput &&
+                                  r.decisionDigest == digest,
                               "slo_diurnal iterations diverged");
             }
             images = r.images;
             throughput = r.throughput;
             goodput = r.slo.goodput(r.makespan);
+            digest = r.decisionDigest;
         }
         const double eps = static_cast<double>(events) / wall;
         json.scenario("slo_diurnal");
@@ -271,6 +285,12 @@ main(int argc, char **argv)
         json.field("images", static_cast<double>(images));
         json.field("sim_throughput_img_per_sec", throughput);
         json.field("sim_goodput_img_per_sec", goodput);
+        json.field("sim_digest_hi",
+                   static_cast<double>(
+                       static_cast<std::uint32_t>(digest >> 32)));
+        json.field("sim_digest_lo",
+                   static_cast<double>(
+                       static_cast<std::uint32_t>(digest)));
         t.addRow({"slo_diurnal", std::to_string(events / kIters),
                   formatDouble(wall * 1e3 / kIters, 1),
                   formatDouble(eps, 0), formatDouble(throughput, 1)});

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Record/replay CLI over one canned coordinator scenario.
+ *
+ * The scenario is deliberately rich — 4 replicas, multi-tenant SLO
+ * trace, admission + work stealing + autoscaling, one crash and one
+ * straggler window — so its decision log covers every record kind.
+ * CI records the log with one compiler and replays it with another
+ * (and under sanitizers): the simulation promises bit-identical
+ * schedules, so any divergence is a determinism bug.
+ *
+ *   ./replay_tool digest             # run, print the decision digest
+ *   ./replay_tool record <log>       # run, save the decision log
+ *   ./replay_tool replay <log>       # re-run forcing <log>'s decisions
+ *                                    # (exits 1 on first divergence)
+ */
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "bench/bench_util.h"
+#include "cluster/cluster.h"
+#include "workload/generator.h"
+
+using namespace coserve;
+
+namespace {
+
+Trace
+scenarioTrace()
+{
+    TenantSpec interactive;
+    interactive.name = "interactive";
+    interactive.cls = RequestClass::Interactive;
+    interactive.ratePerSec = 12.0;
+    interactive.latencyBudget = milliseconds(350);
+    interactive.diurnalAmplitude = 0.85;
+    interactive.diurnalPeriod = seconds(60);
+    TenantSpec batch;
+    batch.name = "batch";
+    batch.cls = RequestClass::Batch;
+    batch.ratePerSec = 8.0;
+    batch.latencyBudget = seconds(2);
+    TenantSpec bestEffort;
+    bestEffort.name = "best-effort";
+    bestEffort.cls = RequestClass::BestEffort;
+    bestEffort.ratePerSec = 3.0;
+    bestEffort.arrivals = ArrivalProcess::MMPP;
+    bestEffort.mmppBurstFactor = 6.0;
+    return generateSloTrace(bench::modelA(),
+                            {interactive, batch, bestEffort},
+                            seconds(120), 0x51D);
+}
+
+ClusterResult
+runScenario(const std::string &recordPath,
+            const std::string &replayPath)
+{
+    Harness &h = bench::harnessFor(bench::numaDevice(), bench::modelA());
+    const Trace trace = scenarioTrace();
+    const EngineConfig cfg =
+        h.makeConfig(SystemKind::CoServeCasual, trace, {});
+
+    ClusterConfig cc = homogeneousCluster(
+        h.context(), cfg, 4, RoutingPolicy::LeastLoaded, "replay-tool");
+    cc.workStealing.enabled = true;
+    cc.admission.enabled = true;
+    cc.admission.slack = 1.25;
+    cc.autoscale.enabled = true;
+    cc.autoscale.interval = seconds(1);
+    cc.autoscale.cooldown = seconds(2);
+
+    RunOptions opts = runWithMode(RunMode::Online);
+    opts.recordPath = recordPath;
+    opts.replayPath = replayPath;
+    // One crash plus one straggler window: the log must carry every
+    // decision kind the coordinator can emit.
+    opts.faults.crashes.push_back({3, seconds(40)});
+    opts.faults.stragglers.push_back({1, seconds(20), seconds(60), 3.0});
+
+    ClusterEngine cluster(std::move(cc));
+    return cluster.run(trace, opts);
+}
+
+void
+report(const ClusterResult &r)
+{
+    std::printf("images %lld, decisions %lld, rehomed %lld, "
+                "lost %lld\n",
+                static_cast<long long>(r.images),
+                static_cast<long long>(r.decisionCount),
+                static_cast<long long>(r.crashRehomed),
+                static_cast<long long>(r.crashLost));
+    std::printf("digest 0x%016" PRIx64 "\n", r.decisionDigest);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *cmd = argc > 1 ? argv[1] : "digest";
+    if (std::strcmp(cmd, "digest") == 0 && argc <= 2) {
+        report(runScenario("", ""));
+        return 0;
+    }
+    if (std::strcmp(cmd, "record") == 0 && argc == 3) {
+        const ClusterResult r = runScenario(argv[2], "");
+        report(r);
+        std::printf("recorded %s\n", argv[2]);
+        return 0;
+    }
+    if (std::strcmp(cmd, "replay") == 0 && argc == 3) {
+        // A divergence fatal()s with exit code 1 inside run().
+        const ClusterResult r = runScenario("", argv[2]);
+        report(r);
+        std::printf("replay OK: every decision matched %s\n", argv[2]);
+        return 0;
+    }
+    std::fprintf(stderr,
+                 "usage: %s digest | record <log> | replay <log>\n",
+                 argv[0]);
+    return 2;
+}

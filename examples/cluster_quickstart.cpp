@@ -71,12 +71,12 @@ main()
     // 4. One replica vs. a 4-replica cluster, same workload.
     ClusterEngine single(homogeneousCluster(
         ctx, cfg, 1, RoutingPolicy::LeastLoaded, "single"));
-    const ClusterResult one = single.run(trace);
+    const ClusterResult one = single.run(trace, RunOptions{});
     report(one);
 
     ClusterEngine cluster(homogeneousCluster(
         ctx, cfg, 4, RoutingPolicy::LeastLoaded, "cluster-of-4"));
-    const ClusterResult four = cluster.run(trace);
+    const ClusterResult four = cluster.run(trace, RunOptions{});
     report(four);
 
     std::printf("\nscale-out speedup: %.2fx aggregate throughput\n",
@@ -87,10 +87,10 @@ main()
     //    replicas steal queued work from backlogged siblings.
     ClusterConfig online = homogeneousCluster(
         ctx, cfg, 4, RoutingPolicy::LeastLoaded, "online-cluster");
-    online.onlineRouting = true;
-    online.workStealing = true;
+    online.workStealing.enabled = true;
     ClusterEngine onlineCluster(std::move(online));
-    const ClusterResult live = onlineCluster.run(trace);
+    const ClusterResult live =
+        onlineCluster.run(trace, runWithMode(RunMode::Online));
     std::printf("\n%s", summarize(live).c_str());
     std::printf("online vs static: %.2fx throughput\n",
                 live.throughput / four.throughput);

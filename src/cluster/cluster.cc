@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <thread>
 
 #include "core/scheduler.h"
+#include "replay/decision_log.h"
 #include "slo/admission.h"
 #include "util/logging.h"
 
@@ -64,7 +66,205 @@ predictReplicaCompletion(const ReplicaView &view,
     return std::max(a.time, soonest) + add;
 }
 
+/** One scheduled fault application, flattened from a FaultPlan. */
+struct FaultAction
+{
+    Time time = 0;
+    DecisionKind kind = DecisionKind::Crash;
+    std::size_t replica = 0;
+    /** Straggler slowdown / brownout bandwidth factor. */
+    double factor = 1.0;
+};
+
+/** Factor encoded in parts-per-million for decision records. */
+std::uint64_t
+ppm(double factor)
+{
+    return static_cast<std::uint64_t>(std::llround(factor * 1e6));
+}
+
+/**
+ * Flatten a plan into one virtual-time-ordered action list. Same-time
+ * actions order by (kind, replica), so the schedule — and therefore
+ * the decision digest — is independent of the plan's vector order.
+ */
+std::vector<FaultAction>
+flattenFaults(const FaultPlan &plan)
+{
+    std::vector<FaultAction> out;
+    for (const ReplicaCrash &c : plan.crashes)
+        out.push_back({c.at, DecisionKind::Crash, c.replica, 0.0});
+    for (const Straggler &s : plan.stragglers) {
+        out.push_back(
+            {s.from, DecisionKind::StragglerOn, s.replica, s.slowdown});
+        out.push_back(
+            {s.to, DecisionKind::StragglerOff, s.replica, 1.0});
+    }
+    for (const StorageBrownout &b : plan.brownouts) {
+        out.push_back(
+            {b.from, DecisionKind::BrownoutOn, b.replica, b.factor});
+        out.push_back(
+            {b.to, DecisionKind::BrownoutOff, b.replica, 1.0});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const FaultAction &x, const FaultAction &y) {
+                  if (x.time != y.time)
+                      return x.time < y.time;
+                  if (x.kind != y.kind)
+                      return x.kind < y.kind;
+                  return x.replica < y.replica;
+              });
+    return out;
+}
+
+/** Report interval-window problems of [from, to) fault windows. */
+template <typename W>
+void
+checkWindows(const std::vector<W> &windows, std::size_t n,
+             const char *what, std::vector<std::string> &errors)
+{
+    for (const W &w : windows) {
+        if (w.replica >= n) {
+            errors.push_back(std::string("fault plan: ") + what +
+                             " replica " + std::to_string(w.replica) +
+                             " out of range (cluster has " +
+                             std::to_string(n) + ")");
+        }
+        if (w.from < 0 || w.to <= w.from) {
+            errors.push_back(std::string("fault plan: ") + what +
+                             " window [" + std::to_string(w.from) +
+                             ", " + std::to_string(w.to) +
+                             ") must be ordered and non-negative");
+        }
+    }
+    // Overlapping windows on one replica would restore full speed at
+    // the first window's end, silently truncating the second.
+    std::vector<std::pair<std::size_t, std::pair<Time, Time>>> spans;
+    for (const W &w : windows)
+        spans.push_back({w.replica, {w.from, w.to}});
+    std::sort(spans.begin(), spans.end());
+    for (std::size_t i = 1; i < spans.size(); ++i) {
+        if (spans[i].first == spans[i - 1].first &&
+            spans[i].second.first < spans[i - 1].second.second) {
+            errors.push_back(std::string("fault plan: overlapping ") +
+                             what + " windows on replica " +
+                             std::to_string(spans[i].first));
+        }
+    }
+}
+
 } // namespace
+
+std::vector<std::string>
+ClusterConfig::validate(const RunOptions &opts) const
+{
+    std::vector<std::string> errors;
+    const std::size_t n = replicas.size();
+    const bool online = resolveMode(opts) == RunMode::Online;
+
+    if (n == 0)
+        errors.push_back("cluster has no replicas");
+
+    if (!online) {
+        if (workStealing.enabled) {
+            errors.push_back(
+                "workStealing requires online mode (RunMode::Online "
+                "or ClusterConfig::onlineRouting)");
+        }
+        if (autoscale.enabled)
+            errors.push_back("autoscale requires online mode");
+        if (admission.enabled) {
+            errors.push_back(
+                "cluster-level admission requires online mode");
+        }
+    }
+
+    if (autoscale.enabled) {
+        if (autoscale.interval <= 0)
+            errors.push_back("autoscale.interval must be > 0");
+        if (autoscale.minReplicas < 1 ||
+            (n > 0 && autoscale.minReplicas > n)) {
+            errors.push_back(
+                "autoscale.minReplicas out of range [1, replicas]");
+        }
+        if (autoscale.startReplicas > n) {
+            errors.push_back(
+                "autoscale.startReplicas exceeds the replica count");
+        }
+    }
+
+    if (sharedCpu.enabled && sharedCpu.bytes == 0) {
+        bool anyCache = false;
+        for (const ReplicaSpec &r : replicas)
+            anyCache = anyCache || r.cfg.cpuCacheTier;
+        if (!anyCache) {
+            errors.push_back(
+                "sharedCpu needs bytes or replicas with an enabled "
+                "cpuCacheTier");
+        }
+    }
+
+    const bool recording = !opts.recordPath.empty();
+    const bool replaying = !opts.replayPath.empty();
+    if (recording && replaying && opts.recordPath == opts.replayPath) {
+        errors.push_back(
+            "recordPath and replayPath must differ (replay reads the "
+            "log the run would overwrite)");
+    }
+    // A parallel static run with a shared CPU tier is the one
+    // configuration whose results depend on host thread scheduling:
+    // its decision stream is recordable (routing is precomputed) but
+    // nothing else about it replays bit-identically. Fault runs take
+    // the sequential coordinator path and stay deterministic.
+    if ((recording || replaying) && !online && !opts.faults.any() &&
+        parallel && sharedCpu.enabled) {
+        errors.push_back(
+            "record/replay of a parallel static run with a shared CPU "
+            "tier is nondeterministic: set parallel = false or run "
+            "online");
+    }
+
+    std::vector<char> crashSeen(n, 0);
+    for (const ReplicaCrash &c : opts.faults.crashes) {
+        if (c.replica >= n) {
+            errors.push_back(
+                "fault plan: crash replica " +
+                std::to_string(c.replica) + " out of range (cluster "
+                "has " + std::to_string(n) + ")");
+            continue;
+        }
+        if (crashSeen[c.replica]) {
+            errors.push_back("fault plan: replica " +
+                             std::to_string(c.replica) +
+                             " crashes twice");
+        }
+        crashSeen[c.replica] = 1;
+        if (c.at < 0)
+            errors.push_back("fault plan: crash time must be >= 0");
+    }
+    if (n > 0 && opts.faults.crashes.size() >= n) {
+        errors.push_back(
+            "fault plan: crashing every replica leaves no survivors");
+    }
+    for (const Straggler &s : opts.faults.stragglers) {
+        if (s.slowdown < 1.0) {
+            errors.push_back(
+                "fault plan: straggler slowdown must be >= 1, got " +
+                std::to_string(s.slowdown));
+        }
+    }
+    for (const StorageBrownout &b : opts.faults.brownouts) {
+        if (b.factor <= 0.0 || b.factor > 1.0) {
+            errors.push_back(
+                "fault plan: brownout factor must be in (0, 1], got " +
+                std::to_string(b.factor));
+        }
+    }
+    checkWindows(opts.faults.stragglers, n, "straggler", errors);
+    checkWindows(opts.faults.brownouts, n, "brownout", errors);
+
+    return errors;
+}
 
 ClusterEngine::ClusterEngine(ClusterConfig cfg) : cfg_(std::move(cfg))
 {
@@ -117,11 +317,60 @@ ClusterEngine::routeTrace(const Trace &trace) const
 }
 
 ClusterResult
-ClusterEngine::run(const Trace &trace)
+ClusterEngine::run(const Trace &trace, const RunOptions &opts)
 {
     COSERVE_CHECK(!ran_, "ClusterEngine instances are single-use");
     ran_ = true;
-    return cfg_.onlineRouting ? runOnline(trace) : runStatic(trace);
+
+    const std::vector<std::string> errors = cfg_.validate(opts);
+    if (!errors.empty()) {
+        std::string joined;
+        for (const std::string &e : errors)
+            joined += "\n  - " + e;
+        fatal("invalid cluster run configuration:", joined);
+    }
+
+    DecisionTrace decisions;
+    DecisionLog replayLog;
+    if (!opts.replayPath.empty()) {
+        replayLog = DecisionLog::load(opts.replayPath);
+        decisions.beginReplay(&replayLog);
+    }
+
+    // Fault plans need every replica on the shared clock even in
+    // static mode (a crash interrupts mid-run), so they take the
+    // coordinator path with routing pinned to the offline assignment.
+    const bool online = cfg_.resolveMode(opts) == RunMode::Online;
+    ClusterResult out =
+        online || opts.faults.any()
+            ? runCoordinated(trace, opts, online, decisions)
+            : runSharded(trace, decisions);
+
+    decisions.finish();
+    out.decisionDigest = decisions.log().digest();
+    out.decisionCount =
+        static_cast<std::int64_t>(decisions.log().size());
+    if (!opts.recordPath.empty())
+        decisions.log().save(opts.recordPath);
+    return out;
+}
+
+ClusterResult
+ClusterEngine::run(const Trace &trace)
+{
+    return run(trace, RunOptions{});
+}
+
+ClusterResult
+ClusterEngine::runStatic(const Trace &trace)
+{
+    return run(trace, runWithMode(RunMode::Static));
+}
+
+ClusterResult
+ClusterEngine::runOnline(const Trace &trace)
+{
+    return run(trace, runWithMode(RunMode::Online));
 }
 
 std::unique_ptr<SharedCpuTier>
@@ -130,9 +379,9 @@ ClusterEngine::makeSharedCpuTier() const
     // One physical host DRAM behind all replicas: evictions from any
     // replica's GPU pool demote into this tier, and any replica's
     // loads may hit it. Lives only for the duration of the run.
-    if (!cfg_.shareCpuTier)
+    if (!cfg_.sharedCpu.enabled)
         return nullptr;
-    std::int64_t cap = cfg_.sharedCpuTierBytes;
+    std::int64_t cap = cfg_.sharedCpu.bytes;
     if (cap == 0) {
         // Same total DRAM as the private split: only replicas
         // whose private tier would actually be enabled contribute.
@@ -141,7 +390,7 @@ ClusterEngine::makeSharedCpuTier() const
                 cap += r.cfg.cpuCacheBytes;
         }
     }
-    COSERVE_CHECK(cap > 0, "shareCpuTier needs sharedCpuTierBytes ",
+    COSERVE_CHECK(cap > 0, "sharedCpu needs bytes ",
                   "or replicas with an enabled cpuCacheTier");
     return std::make_unique<SharedCpuTier>(cap);
 }
@@ -161,9 +410,17 @@ ClusterEngine::appendSharedTierStats(ClusterResult &out,
 }
 
 ClusterResult
-ClusterEngine::runStatic(const Trace &trace)
+ClusterEngine::runSharded(const Trace &trace, DecisionTrace &decisions)
 {
     const std::vector<std::size_t> assignment = routeTrace(trace);
+    // The route stream *is* the static coordinator's decision stream:
+    // digesting it here keeps static runs replay-checkable and their
+    // digests identical to a fault-free pinned-routing coordinator run.
+    for (std::size_t i = 0; i < trace.arrivals.size(); ++i) {
+        decisions.note({trace.arrivals[i].time, DecisionKind::Route,
+                        static_cast<std::uint64_t>(i),
+                        static_cast<std::uint64_t>(assignment[i]), 0});
+    }
     const std::vector<Trace> shards =
         shardTrace(trace, assignment, cfg_.replicas.size());
 
@@ -210,7 +467,9 @@ ClusterEngine::makeReplicaEngine(std::size_t i,
 }
 
 ClusterResult
-ClusterEngine::runOnline(const Trace &trace)
+ClusterEngine::runCoordinated(const Trace &trace,
+                              const RunOptions &opts, bool liveRouting,
+                              DecisionTrace &decisions)
 {
     const std::size_t n = cfg_.replicas.size();
     std::unique_ptr<SharedCpuTier> sharedCpu = makeSharedCpuTier();
@@ -221,8 +480,8 @@ ClusterEngine::runOnline(const Trace &trace)
     const auto wallStart = std::chrono::steady_clock::now();
 
     // Build all replica engines up front; the coordinator steps them
-    // in lockstep, so — unlike static mode — they never run on their
-    // own threads and `parallel` is irrelevant.
+    // in lockstep, so — unlike static sharding — they never run on
+    // their own threads and `parallel` is irrelevant.
     std::vector<std::unique_ptr<ServingEngine>> engines;
     engines.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
@@ -234,8 +493,26 @@ ClusterEngine::runOnline(const Trace &trace)
     }
 
     const std::vector<ReplicaView> views = makeReplicaViews();
-    auto router = makeRouter(cfg_.routing,
-                             cfg_.replicas.front().ctx->model(), views);
+    std::unique_ptr<ReplicaRouter> router;
+    if (liveRouting) {
+        router = makeRouter(cfg_.routing,
+                            cfg_.replicas.front().ctx->model(), views);
+    }
+    // Static under faults: routing pinned to the offline assignment,
+    // exactly what runSharded would execute — re-homing applies only
+    // when the assigned replica has crashed.
+    std::vector<std::size_t> assignment;
+    if (!liveRouting)
+        assignment = routeTrace(trace);
+
+    // ----- fault schedule --------------------------------------------
+    const std::vector<FaultAction> faults =
+        flattenFaults(opts.faults);
+    std::size_t nextFault = 0;
+    std::vector<char> crashed(n, 0);
+    std::size_t crashedCount = 0;
+    std::int64_t crashes = 0, rehomed = 0, lostImages = 0;
+    std::int64_t stragglers = 0, brownouts = 0;
 
     // ----- autoscaler state ------------------------------------------
     //
@@ -246,9 +523,6 @@ ClusterEngine::runOnline(const Trace &trace)
     std::vector<char> active(n, 1);
     std::size_t activeCount = n;
     if (as.enabled) {
-        COSERVE_CHECK(as.minReplicas >= 1 && as.minReplicas <= n,
-                      "autoscale.minReplicas out of range");
-        COSERVE_CHECK(as.interval > 0, "autoscale.interval must be > 0");
         std::size_t start = as.startReplicas == 0 ? as.minReplicas
                                                   : as.startReplicas;
         start = std::min(start, n);
@@ -295,6 +569,13 @@ ClusterEngine::runOnline(const Trace &trace)
         }
     };
 
+    const auto stepAll = [&](Time t) {
+        for (std::size_t i = 0; i < n; ++i) {
+            if (engines[i]->stepUntil(t) > 0)
+                dirty[i] = 1;
+        }
+    };
+
     // A thief may only steal requests its context can serve: on a
     // heterogeneous cluster a replica may never have been profiled
     // for some architecture, and dispatching such a request there
@@ -302,10 +583,10 @@ ClusterEngine::runOnline(const Trace &trace)
     // the routers apply (router.h) — and like routing, a stolen
     // classify request brings its whole chain, so the thief must also
     // serve the detect child it may spawn. The autoscaler's
-    // quiesce-evacuation reuses the same filters.
+    // quiesce-evacuation and crash re-homing reuse the same filters.
     const CoEModel &model = cfg_.replicas.front().ctx->model();
     std::vector<RequestQueue::StealFilter> canServe(n);
-    if (cfg_.workStealing || as.enabled) {
+    if (cfg_.workStealing.enabled || as.enabled || opts.faults.any()) {
         for (std::size_t i = 0; i < n; ++i) {
             canServe[i] = [&model,
                            view = views[i]](const Request &req) {
@@ -347,7 +628,7 @@ ClusterEngine::runOnline(const Trace &trace)
 
     std::vector<std::int64_t> stolenFrom(n, 0), stolenTo(n, 0);
     std::vector<Request> stealBuf;
-    const auto maybeSteal = [&]() {
+    const auto maybeSteal = [&](Time now) {
         // An idle replica raids the most backlogged sibling whose
         // queued-but-unstarted count exceeds the threshold, taking
         // half the backlog. The victim's *time* backlog must also
@@ -362,14 +643,14 @@ ClusterEngine::runOnline(const Trace &trace)
             return; // common case: skip the full view refresh
         refreshViews();
         for (std::size_t thief = 0; thief < n; ++thief) {
-            // A quiesced replica must not pull new work onto itself.
+            // A quiesced or crashed replica must not pull new work.
             if (!live[thief].idle || !active[thief])
                 continue;
             std::size_t victim = n;
-            std::size_t depth = cfg_.stealBacklogThreshold;
+            std::size_t depth = cfg_.workStealing.backlogThreshold;
             for (std::size_t j = 0; j < n; ++j) {
                 if (j != thief && live[j].queueDepth > depth &&
-                    live[j].backlog > cfg_.stealMinBacklog) {
+                    live[j].backlog > cfg_.workStealing.minBacklog) {
                     depth = live[j].queueDepth;
                     victim = j;
                 }
@@ -404,6 +685,10 @@ ClusterEngine::runOnline(const Trace &trace)
             }
             if (got == 0)
                 continue;
+            decisions.note({now, DecisionKind::Steal,
+                            static_cast<std::uint64_t>(victim),
+                            static_cast<std::uint64_t>(thief),
+                            static_cast<std::uint64_t>(got)});
             // Keep the thief's upcoming demand loads resident in the
             // shared DRAM tier (steal-aware admission).
             hintSharedTier(stealBuf);
@@ -459,7 +744,7 @@ ClusterEngine::runOnline(const Trace &trace)
     // behind by design (stealFromTail) and simply finish where they
     // are — quiesce is a drain, not a kill.
     std::vector<Request> evacBuf;
-    const auto evacuate = [&](std::size_t q) {
+    const auto evacuate = [&](std::size_t q, Time now) {
         bool progress = true;
         while (progress) {
             progress = false;
@@ -471,6 +756,10 @@ ClusterEngine::runOnline(const Trace &trace)
                     engines[q]->stealRequests(4, evacBuf, canServe[t]);
                 if (got == 0)
                     continue;
+                decisions.note({now, DecisionKind::Evacuate,
+                                static_cast<std::uint64_t>(q),
+                                static_cast<std::uint64_t>(t),
+                                static_cast<std::uint64_t>(got)});
                 hintSharedTier(evacBuf);
                 for (const Request &req : evacBuf)
                     engines[t]->injectRequest(req);
@@ -510,11 +799,12 @@ ClusterEngine::runOnline(const Trace &trace)
         // violations immediately, overprovision only efficiency.
         if ((violRate > as.violationHigh ||
              perActive > static_cast<double>(as.backlogHigh)) &&
-            activeCount < n) {
+            activeCount < n - crashedCount) {
             // Scale up: wake the lowest-index quiesced replica (it is
             // built, preloaded and idle — activation is instant).
+            // Crashed replicas never come back.
             for (std::size_t i = 0; i < n; ++i) {
-                if (active[i])
+                if (active[i] || crashed[i])
                     continue;
                 noteActiveChange(now);
                 active[i] = 1;
@@ -522,6 +812,8 @@ ClusterEngine::runOnline(const Trace &trace)
                 activations += 1;
                 lastScaleAction = now;
                 live[i].acceptingWork = true;
+                decisions.note({now, DecisionKind::ScaleUp,
+                                static_cast<std::uint64_t>(i), 0, 0});
                 break;
             }
         } else if (violRate < as.violationLow &&
@@ -548,18 +840,125 @@ ClusterEngine::runOnline(const Trace &trace)
             quiesces += 1;
             lastScaleAction = now;
             live[q].acceptingWork = false;
-            evacuate(q);
+            decisions.note({now, DecisionKind::Quiesce,
+                            static_cast<std::uint64_t>(q), 0, 0});
+            evacuate(q, now);
+        }
+    };
+
+    // ----- fault application -----------------------------------------
+
+    std::vector<Request> drainBuf;
+    std::vector<std::int64_t> rehomeCnt(n, 0);
+    const auto applyFault = [&](const FaultAction &f) {
+        switch (f.kind) {
+        case DecisionKind::Crash: {
+            const std::size_t r = f.replica;
+            COSERVE_CHECK(!crashed[r], "replica crashed twice");
+            if (active[r]) {
+                if (as.enabled)
+                    noteActiveChange(f.time);
+                active[r] = 0;
+                activeCount -= 1;
+            }
+            crashed[r] = 1;
+            crashedCount += 1;
+            crashes += 1;
+            live[r].acceptingWork = false;
+            // Drain queued + in-flight work off the dead replica and
+            // re-home it round-robin onto active capable siblings
+            // (each filtered by its own capability, like evacuation).
+            // Work no survivor can serve is lost — and accounted.
+            drainBuf.clear();
+            engines[r]->crashDrain(drainBuf);
+            dirty[r] = 1;
+            hintSharedTier(drainBuf);
+            std::fill(rehomeCnt.begin(), rehomeCnt.end(), 0);
+            std::int64_t lostHere = 0;
+            std::size_t cursor = (r + 1) % n;
+            for (const Request &req : drainBuf) {
+                std::size_t target = n;
+                for (std::size_t j = 0; j < n; ++j) {
+                    const std::size_t i = (cursor + j) % n;
+                    if (i == r || !active[i])
+                        continue;
+                    if (canServe[i] && !canServe[i](req))
+                        continue;
+                    target = i;
+                    break;
+                }
+                if (target == n) {
+                    lostHere += 1;
+                    continue;
+                }
+                cursor = (target + 1) % n;
+                engines[target]->injectRequest(req);
+                rehomeCnt[target] += 1;
+                dirty[target] = 1;
+            }
+            const std::int64_t rehomedHere =
+                static_cast<std::int64_t>(drainBuf.size()) - lostHere;
+            rehomed += rehomedHere;
+            // One request per image is in flight at a time, so every
+            // lost request is exactly one lost image.
+            lostImages += lostHere;
+            decisions.note({f.time, DecisionKind::Crash,
+                            static_cast<std::uint64_t>(r),
+                            static_cast<std::uint64_t>(rehomedHere),
+                            static_cast<std::uint64_t>(lostHere)});
+            for (std::size_t i = 0; i < n; ++i) {
+                if (rehomeCnt[i] > 0) {
+                    decisions.note(
+                        {f.time, DecisionKind::Evacuate,
+                         static_cast<std::uint64_t>(r),
+                         static_cast<std::uint64_t>(i),
+                         static_cast<std::uint64_t>(rehomeCnt[i])});
+                }
+            }
+            break;
+        }
+        case DecisionKind::StragglerOn:
+            engines[f.replica]->setComputeScale(f.factor);
+            stragglers += 1;
+            decisions.note({f.time, DecisionKind::StragglerOn,
+                            static_cast<std::uint64_t>(f.replica),
+                            ppm(f.factor), 0});
+            break;
+        case DecisionKind::StragglerOff:
+            engines[f.replica]->setComputeScale(1.0);
+            decisions.note({f.time, DecisionKind::StragglerOff,
+                            static_cast<std::uint64_t>(f.replica), 0,
+                            0});
+            break;
+        case DecisionKind::BrownoutOn:
+            engines[f.replica]->setStorageRateScale(f.factor);
+            brownouts += 1;
+            decisions.note({f.time, DecisionKind::BrownoutOn,
+                            static_cast<std::uint64_t>(f.replica),
+                            ppm(f.factor), 0});
+            break;
+        case DecisionKind::BrownoutOff:
+            engines[f.replica]->setStorageRateScale(1.0);
+            decisions.note({f.time, DecisionKind::BrownoutOff,
+                            static_cast<std::uint64_t>(f.replica), 0,
+                            0});
+            break;
+        default:
+            panic("unexpected fault action kind");
         }
     };
 
     // Lockstep coordination on the shared virtual clock: the next
     // thing that happens cluster-wide is the earliest of the next
-    // pending replica event, the next arrival, and (autoscale only)
-    // the next control tick — arrivals win ties against events so
-    // routing sees state as of the arrival instant; control ticks win
-    // ties so same-time arrivals see the post-scale active set.
-    // Everything is driven by virtual time, so the schedule is
-    // reproducible by construction.
+    // pending replica event, the next arrival, the next fault action,
+    // and (autoscale only) the next control tick — fault actions win
+    // all ties (a crash at t kills same-time work), control ticks win
+    // ties against arrivals so same-time arrivals see the post-scale
+    // active set, and arrivals win ties against events so routing sees
+    // state as of the arrival instant. Everything is driven by virtual
+    // time, so the schedule is reproducible by construction. Fault
+    // actions scheduled after the last arrival and event are never
+    // applied (there is nothing left for them to affect).
     std::size_t next = 0;
     Time lastArrival = 0;
     for (;;) {
@@ -577,11 +976,20 @@ ClusterEngine::runOnline(const Trace &trace)
         if (tArr == kTimeNever && tEv == kTimeNever)
             break;
 
+        const Time tFault = nextFault < faults.size()
+                                ? faults[nextFault].time
+                                : kTimeNever;
+        const Time tCtl = as.enabled ? nextControl : kTimeNever;
+        if (tFault != kTimeNever &&
+            tFault <= std::min({tArr, tEv, tCtl})) {
+            stepAll(tFault);
+            applyFault(faults[nextFault]);
+            ++nextFault;
+            continue;
+        }
+
         if (as.enabled && nextControl <= std::min(tArr, tEv)) {
-            for (std::size_t i = 0; i < n; ++i) {
-                if (engines[i]->stepUntil(nextControl) > 0)
-                    dirty[i] = 1;
-            }
+            stepAll(nextControl);
             runControl(nextControl);
             nextControl += as.interval;
             continue;
@@ -592,18 +1000,17 @@ ClusterEngine::runOnline(const Trace &trace)
             // every clock to the arrival instant and route it with
             // live views (skipping the snapshot work for policies
             // whose routeLive falls back to the offline route()).
-            for (std::size_t i = 0; i < n; ++i) {
-                if (engines[i]->stepUntil(tArr) > 0)
-                    dirty[i] = 1;
-            }
+            stepAll(tArr);
             ImageArrival a = trace.arrivals[next];
+            const auto idx = static_cast<std::uint64_t>(next);
             ++next;
 
             // Cluster-level admission: can *any* active capable
             // replica make this deadline? Predicted from the live
             // views with the same Section-4.2 estimate the routers
             // use, upstream of routing.
-            if (cfg_.admission.enabled && a.deadline != kTimeNever) {
+            if (liveRouting && cfg_.admission.enabled &&
+                a.deadline != kTimeNever) {
                 refreshViews();
                 Time best = kTimeNever;
                 for (std::size_t i = 0; i < n; ++i) {
@@ -620,6 +1027,9 @@ ClusterEngine::runOnline(const Trace &trace)
                 if (verdict == AdmissionVerdict::Reject) {
                     coordSlo.recordRejected(a.cls);
                     coordRejected += 1;
+                    decisions.note(
+                        {a.time, DecisionKind::Reject, idx,
+                         static_cast<std::uint64_t>(a.cls), 0});
                     continue;
                 }
                 if (verdict == AdmissionVerdict::Downgrade) {
@@ -627,20 +1037,31 @@ ClusterEngine::runOnline(const Trace &trace)
                     // violation accounting (see ServingEngine's
                     // admitTimed).
                     coordSlo.recordDowngraded(a.cls);
+                    decisions.note(
+                        {a.time, DecisionKind::Downgrade, idx,
+                         static_cast<std::uint64_t>(a.cls), 0});
                     a.cls = RequestClass::BestEffort;
                 }
             }
 
-            if (router->usesLiveViews())
-                refreshViews();
-            std::size_t r = router->routeLive(a, live);
-            COSERVE_CHECK(r < n, "router returned replica ", r);
+            std::size_t r;
+            if (liveRouting) {
+                if (router->usesLiveViews())
+                    refreshViews();
+                r = router->routeLive(a, live);
+                COSERVE_CHECK(r < n, "router returned replica ", r);
+            } else {
+                r = assignment[idx];
+            }
             if (!active[r]) {
                 // Offline-fallback routers (round-robin) ignore the
-                // acceptingWork gate: re-home onto the next active
-                // capable replica. If none exists (possible only on a
-                // pathological heterogeneous config), serve on the
-                // quiesced pick rather than lose the image.
+                // acceptingWork gate, and a pinned static assignment
+                // may point at a replica that crashed since routing:
+                // re-home onto the next active capable replica. If
+                // none exists (possible only on a pathological
+                // heterogeneous config), serve on the quiesced pick
+                // rather than lose the image — unless it crashed, in
+                // which case the image is genuinely lost.
                 for (std::size_t j = 0; j < n; ++j) {
                     const std::size_t i = (r + j) % n;
                     if (active[i] &&
@@ -650,6 +1071,17 @@ ClusterEngine::runOnline(const Trace &trace)
                     }
                 }
             }
+            if (crashed[r]) {
+                // No survivor can serve this arrival's chain. Record
+                // the drop with the out-of-range sentinel replica `n`
+                // so replays still cover it.
+                lostImages += 1;
+                decisions.note({a.time, DecisionKind::Route, idx,
+                                static_cast<std::uint64_t>(n), 0});
+                continue;
+            }
+            decisions.note({a.time, DecisionKind::Route, idx,
+                            static_cast<std::uint64_t>(r), 0});
             engines[r]->admitArrival(a);
             // Execute the admission's dispatch now, so a same-time
             // burst of arrivals sees each predecessor in the queues
@@ -659,12 +1091,9 @@ ClusterEngine::runOnline(const Trace &trace)
         } else {
             // Replica events precede the next arrival: execute the
             // earliest round everywhere, then let idle replicas steal.
-            for (std::size_t i = 0; i < n; ++i) {
-                if (engines[i]->stepUntil(tEv) > 0)
-                    dirty[i] = 1;
-            }
-            if (cfg_.workStealing)
-                maybeSteal();
+            stepAll(tEv);
+            if (cfg_.workStealing.enabled)
+                maybeSteal(tEv);
         }
     }
     const auto wallEnd = std::chrono::steady_clock::now();
@@ -677,12 +1106,14 @@ ClusterEngine::runOnline(const Trace &trace)
         results[i] = engines[i]->finishOnline();
         images += results[i].images;
     }
-    // Every arrival either completed somewhere or was rejected by
-    // admission (at the coordinator or at a replica).
-    COSERVE_CHECK(images + rejected ==
+    // Every arrival either completed somewhere, was rejected by
+    // admission (at the coordinator or at a replica), or was lost to
+    // an injected crash with no capable survivor.
+    COSERVE_CHECK(images + rejected + lostImages ==
                       static_cast<std::int64_t>(trace.arrivals.size()),
                   "lost images: ", images, " done + ", rejected,
-                  " rejected of ", trace.arrivals.size());
+                  " rejected + ", lostImages, " crash-lost of ",
+                  trace.arrivals.size());
 
     ClusterResult out = aggregateClusterResult(
         cfg_.label, toString(cfg_.routing), std::move(results));
@@ -692,7 +1123,7 @@ ClusterEngine::runOnline(const Trace &trace)
     out.stolenToReplica = std::move(stolenTo);
     for (std::int64_t s : out.stolenFromReplica)
         out.stolenRequests += s;
-    out.workStealingEnabled = cfg_.workStealing;
+    out.workStealingEnabled = cfg_.workStealing.enabled;
     out.slo.merge(coordSlo);
     if (as.enabled) {
         out.autoscaleEnabled = true;
@@ -708,6 +1139,14 @@ ClusterEngine::runOnline(const Trace &trace)
             out.avgActiveReplicas =
                 activeIntegral / static_cast<double>(out.makespan);
         }
+    }
+    if (opts.faults.any()) {
+        out.faultsInjected = true;
+        out.crashesInjected = crashes;
+        out.crashRehomed = rehomed;
+        out.crashLost = lostImages;
+        out.stragglersInjected = stragglers;
+        out.brownoutsInjected = brownouts;
     }
     appendSharedTierStats(out, sharedCpu.get());
     return out;

@@ -5,18 +5,29 @@
  * A ClusterEngine owns N replica descriptions — each with its own
  * DeviceSpec, offline CoServeContext, dependency-aware scheduler and
  * two-stage eviction policy, assembled through makeCoServeEngine — and
- * a cluster-level dispatcher (cluster/router.h). Two execution modes:
+ * a cluster-level dispatcher (cluster/router.h). One entry point:
  *
- *  - static (default): run() routes every arrival to one replica up
- *    front, shards the trace, executes the replicas concurrently on
- *    std::thread (each replica keeps its own discrete-event queue; all
- *    shards stay on one shared virtual clock) and merges the
- *    per-replica RunResults into a ClusterResult;
- *  - online (ClusterConfig::onlineRouting): a coordinator steps all
- *    replicas in lockstep on the shared virtual clock, routes each
- *    arrival at its arrival time from live replica state, and — with
- *    ClusterConfig::workStealing — re-routes queued-but-unstarted
- *    requests from backlogged replicas to idle ones.
+ *     ClusterResult r = engine.run(trace, opts);
+ *
+ * RunOptions selects the execution mode (static pre-routing vs online
+ * lockstep coordination), optional decision-log recording or replay,
+ * and an optional fault plan (replay/fault_plan.h). The two modes:
+ *
+ *  - static: route every arrival to one replica up front, shard the
+ *    trace, execute the replicas concurrently on std::thread (each
+ *    replica keeps its own discrete-event queue; all shards stay on
+ *    one shared virtual clock) and merge the per-replica RunResults;
+ *  - online: a coordinator steps all replicas in lockstep on the
+ *    shared virtual clock, routes each arrival at its arrival time
+ *    from live replica state, and — per ClusterConfig policy groups —
+ *    steals work, admits against SLOs, and autoscales.
+ *
+ * Every coordinator decision is folded into a 64-bit semantic digest
+ * (ClusterResult::decisionDigest) and can be recorded to a compact
+ * binary log and replayed with forced-divergence checking — see
+ * replay/decision_log.h. Fault plans (replica crash, straggler,
+ * storage brownout) run in either mode; a crash re-homes the dead
+ * replica's queued and in-flight work through the evacuation machinery.
  *
  * This is the first scale-out axis on top of the paper's single-engine
  * system: the paper's techniques (§4.2–§4.4) act within a replica; the
@@ -34,9 +45,12 @@
 #include "cluster/router.h"
 #include "core/coserve.h"
 #include "metrics/cluster_result.h"
+#include "replay/fault_plan.h"
 #include "workload/trace.h"
 
 namespace coserve {
+
+class DecisionTrace;
 
 /**
  * Elastic-autoscaler knobs (online mode only). The coordinator runs a
@@ -75,6 +89,46 @@ struct AutoscaleConfig
     Time cooldown = seconds(4);
 };
 
+/**
+ * Work-stealing policy (online mode only): when a replica's event
+ * queue goes idle while a sibling still has more than backlogThreshold
+ * queued-but-unstarted requests, the coordinator re-routes half of the
+ * sibling's queued backlog to the idle replica. Counted in
+ * ClusterResult::stolenRequests / stolenFrom/ToReplica.
+ */
+struct StealPolicy
+{
+    bool enabled = false;
+    /** Backlog a sibling must exceed before an idle replica steals. */
+    std::size_t backlogThreshold = 4;
+    /**
+     * The sibling's predicted backlog *time* (sum of its queues'
+     * scheduler estimates) must also exceed this before stealing: the
+     * thief almost always pays one demand load (~100 ms) for its
+     * loot, so the stolen half-backlog must amortize that load many
+     * times over or the steal slows the cluster down. ~2 s is the
+     * empirical break-even on the fig22 skewed sweep.
+     */
+    Time minBacklog = seconds(2);
+};
+
+/**
+ * Shared host-DRAM policy: share one mutex-guarded CPU DRAM tier
+ * (runtime/memory_tier.h SharedCpuTier) across all replicas — one
+ * physical host DRAM behind the cluster — so an expert evicted by one
+ * replica is a DRAM hit for its siblings. Replaces each replica's
+ * private cache tier.
+ */
+struct SharedCpuPolicy
+{
+    bool enabled = false;
+    /**
+     * Capacity of the shared tier; 0 derives the sum of the replicas'
+     * cpuCacheBytes (same total DRAM as the private split).
+     */
+    std::int64_t bytes = 0;
+};
+
 /** One replica of the cluster. */
 struct ReplicaSpec
 {
@@ -90,6 +144,45 @@ struct ReplicaSpec
     EngineConfig cfg;
 };
 
+/** Execution mode of one cluster run. */
+enum class RunMode
+{
+    /** Follow ClusterConfig::onlineRouting (the legacy switch). */
+    Auto,
+    /** Pre-route the whole trace, shard, run replicas independently. */
+    Static,
+    /** Lockstep coordinator with live routing. */
+    Online,
+};
+
+/**
+ * Per-run options for ClusterEngine::run: mode selection, decision-log
+ * recording / replay, and fault injection. Default-constructed options
+ * reproduce the legacy run(trace) behavior exactly.
+ */
+struct RunOptions
+{
+    RunMode mode = RunMode::Auto;
+    /** Write the decision log here after the run ("" = don't). */
+    std::string recordPath;
+    /**
+     * Verify this run against a previously recorded decision log,
+     * hard-failing (exit 1) on the first divergence ("" = off).
+     */
+    std::string replayPath;
+    /** Failures to inject, on the virtual clock (empty = clean run). */
+    FaultPlan faults;
+};
+
+/** @return options selecting @p mode (call-site convenience). */
+inline RunOptions
+runWithMode(RunMode mode)
+{
+    RunOptions opts;
+    opts.mode = mode;
+    return opts;
+}
+
 /** Fully-resolved cluster description. */
 struct ClusterConfig
 {
@@ -100,23 +193,13 @@ struct ClusterConfig
      * the caller's thread (false). With private CPU tiers results are
      * identical either way — replicas share no mutable state — so it
      * only trades wall-clock speed against debuggability. With
-     * shareCpuTier the tier's population order follows host thread
-     * scheduling, so only sequential runs are reproducible.
+     * sharedCpu the tier's population order follows host thread
+     * scheduling, so only sequential static runs are reproducible
+     * (online mode serializes on the coordinator and ignores this).
      */
     bool parallel = true;
-    /**
-     * Share one mutex-guarded CPU DRAM tier (runtime/memory_tier.h
-     * SharedCpuTier) across all replicas — one physical host DRAM
-     * behind the cluster — so an expert evicted by one replica is a
-     * DRAM hit for its siblings. Replaces each replica's private
-     * cache tier.
-     */
-    bool shareCpuTier = false;
-    /**
-     * Capacity of the shared tier; 0 derives the sum of the replicas'
-     * cpuCacheBytes (same total DRAM as the private split).
-     */
-    std::int64_t sharedCpuTierBytes = 0;
+    /** Cluster-shared CPU DRAM tier policy. */
+    SharedCpuPolicy sharedCpu;
     /**
      * Online cluster scheduling: instead of pre-routing the whole
      * trace and running replica shards in isolation, a cluster-level
@@ -128,20 +211,14 @@ struct ClusterConfig
      *
      * Deterministic by construction: coordination is driven purely by
      * the shared virtual clock, so `parallel` is ignored and results
-     * are bit-identical regardless of it — including with shareCpuTier
+     * are bit-identical regardless of it — including with sharedCpu
      * (the coordinator serializes all tier accesses).
+     *
+     * This is the RunMode::Auto default; RunOptions::mode overrides.
      */
     bool onlineRouting = false;
-    /**
-     * Online mode only: when a replica's event queue goes idle while a
-     * sibling still has more than stealBacklogThreshold
-     * queued-but-unstarted requests, the coordinator re-routes half of
-     * the sibling's queued backlog to the idle replica. Counted in
-     * ClusterResult::stolenRequests / stolenFrom/ToReplica.
-     */
-    bool workStealing = false;
-    /** Backlog a sibling must exceed before an idle replica steals. */
-    std::size_t stealBacklogThreshold = 4;
+    /** Work stealing between replicas (online mode only). */
+    StealPolicy workStealing;
     /**
      * Cluster-level SLO admission (online mode only): before routing,
      * the coordinator predicts the best achievable completion across
@@ -153,16 +230,26 @@ struct ClusterConfig
     AdmissionConfig admission;
     /** Elastic autoscaling (online mode only); see AutoscaleConfig. */
     AutoscaleConfig autoscale;
-    /**
-     * The sibling's predicted backlog *time* (sum of its queues'
-     * scheduler estimates) must also exceed this before stealing: the
-     * thief almost always pays one demand load (~100 ms) for its
-     * loot, so the stolen half-backlog must amortize that load many
-     * times over or the steal slows the cluster down. ~2 s is the
-     * empirical break-even on the fig22 skewed sweep.
-     */
-    Time stealMinBacklog = seconds(2);
     std::vector<ReplicaSpec> replicas;
+
+    /**
+     * Validate this configuration against @p opts: human-readable
+     * errors for every inconsistency (online-only policies in a static
+     * run, autoscale bounds, shared-tier capacity, record/replay of a
+     * nondeterministic parallel configuration, fault-plan bounds, ...)
+     * instead of silent misbehavior. Empty means runnable;
+     * ClusterEngine::run() rejects configs with errors.
+     */
+    std::vector<std::string> validate(const RunOptions &opts = {}) const;
+
+    /** The mode @p opts resolves to under this config. */
+    RunMode
+    resolveMode(const RunOptions &opts) const
+    {
+        if (opts.mode != RunMode::Auto)
+            return opts.mode;
+        return onlineRouting ? RunMode::Online : RunMode::Static;
+    }
 };
 
 /** Single-use cluster instance. */
@@ -188,14 +275,38 @@ class ClusterEngine
      */
     std::vector<std::size_t> routeTrace(const Trace &trace) const;
 
-    /** Serve @p trace to completion; callable once per cluster. */
+    /**
+     * Serve @p trace to completion under @p opts; callable once per
+     * cluster. fatal()s (exit 1) when validate(opts) reports errors,
+     * and on the first divergence in replay mode.
+     */
+    ClusterResult run(const Trace &trace, const RunOptions &opts);
+
+    /** @deprecated Legacy entry point; use run(trace, RunOptions{}). */
+    [[deprecated("use run(trace, RunOptions{})")]]
     ClusterResult run(const Trace &trace);
 
-  private:
-    /** Static mode: route the whole trace offline, shard, run. */
+    /** @deprecated Use run(trace, runWithMode(RunMode::Static)). */
+    [[deprecated("use run(trace, runWithMode(RunMode::Static))")]]
     ClusterResult runStatic(const Trace &trace);
-    /** Online mode: lockstep coordinator, live routing, stealing. */
+
+    /** @deprecated Use run(trace, runWithMode(RunMode::Online)). */
+    [[deprecated("use run(trace, runWithMode(RunMode::Online))")]]
     ClusterResult runOnline(const Trace &trace);
+
+  private:
+    /** Static clean path: route offline, shard, run concurrently. */
+    ClusterResult runSharded(const Trace &trace,
+                             DecisionTrace &decisions);
+    /**
+     * Coordinator path: online mode always; static mode when a fault
+     * plan needs the shared clock (routing pinned to the offline
+     * assignment, no stealing/admission/autoscale).
+     */
+    ClusterResult runCoordinated(const Trace &trace,
+                                 const RunOptions &opts,
+                                 bool liveRouting,
+                                 DecisionTrace &decisions);
     /** Build the shared CPU tier when configured (else null). */
     std::unique_ptr<SharedCpuTier> makeSharedCpuTier() const;
     /** One router-facing view per replica, in replica order. */

@@ -13,6 +13,7 @@
 #ifndef COSERVE_METRICS_CLUSTER_RESULT_H
 #define COSERVE_METRICS_CLUSTER_RESULT_H
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -103,6 +104,33 @@ struct ClusterResult
     std::int64_t autoscaleEvacuated = 0;
     /** Time-weighted mean number of active replicas over the run. */
     double avgActiveReplicas = 0.0;
+
+    /**
+     * Semantic digest over the coordinator's full decision stream
+     * (routes, steals, admission verdicts, scale actions, faults —
+     * see replay/decision_log.h). Equal digests mean equal schedules:
+     * the determinism check that subsumes comparing aggregate metrics.
+     */
+    std::uint64_t decisionDigest = 0;
+    /** Number of decisions in the stream. */
+    std::int64_t decisionCount = 0;
+
+    /**
+     * Fault-injection accounting (RunOptions::faults only; all zero
+     * and faultsInjected false for clean runs — reports gate their
+     * failure section on the flag, like the steal/autoscale sections).
+     */
+    bool faultsInjected = false;
+    /** Replica crashes applied. */
+    std::int64_t crashesInjected = 0;
+    /** Requests drained off crashed replicas and re-homed. */
+    std::int64_t crashRehomed = 0;
+    /** Drained requests no surviving replica could serve. */
+    std::int64_t crashLost = 0;
+    /** Straggler slowdown windows applied. */
+    std::int64_t stragglersInjected = 0;
+    /** Storage brownout windows applied. */
+    std::int64_t brownoutsInjected = 0;
 
     /**
      * Host wall-clock seconds spent executing the replicas (threaded

@@ -103,6 +103,16 @@ summarize(const ClusterResult &r)
            << formatDouble(r.avgActiveReplicas, 2)
            << " active replicas\n";
     }
+    // Like the steal/autoscale sections: gated on fault activity, so
+    // clean runs keep their pre-fault-injection output byte-identical.
+    if (r.faultsInjected) {
+        os << "  faults: " << r.crashesInjected << " crash"
+           << (r.crashesInjected == 1 ? "" : "es") << " ("
+           << r.crashRehomed << " requests re-homed, " << r.crashLost
+           << " lost), " << r.stragglersInjected
+           << " straggler + " << r.brownoutsInjected
+           << " brownout windows\n";
+    }
     appendSloLines(os, r.slo, r.makespan);
     for (std::size_t i = 0; i < r.replicas.size(); ++i) {
         const RunResult &rep = r.replicas[i];

@@ -621,6 +621,7 @@ void
 ServingEngine::admitArrival(const ImageArrival &a)
 {
     COSERVE_CHECK(online_, "admitArrival outside an online run");
+    COSERVE_CHECK(!crashed_, "admitting into a crashed replica");
     scheduleArrival(a);
 }
 
@@ -712,9 +713,43 @@ void
 ServingEngine::injectRequest(const Request &req)
 {
     COSERVE_CHECK(online_, "injectRequest outside an online run");
+    COSERVE_CHECK(!crashed_, "injecting into a crashed replica");
     COSERVE_CHECK(req.arrival <= eq_.now(),
                   "stolen request from the future");
     dispatchTimed(req);
+}
+
+std::size_t
+ServingEngine::crashDrain(std::vector<Request> &out)
+{
+    COSERVE_CHECK(online_, "crashDrain outside an online run");
+    COSERVE_CHECK(!crashed_, "replica crashed twice");
+    crashed_ = true;
+    std::size_t drained = 0;
+    for (const auto &exec : executors_) {
+        drained += exec->surrenderRunning(out);
+        drained += exec->drainQueue(out);
+    }
+    // Drop everything still scheduled — batch completions (their
+    // requests were just surrendered), in-flight expert loads, pending
+    // prefetches. The clock survives, so finishOnline() reports the
+    // pre-crash metrics at the right makespan.
+    eq_.clear();
+    return drained;
+}
+
+void
+ServingEngine::setComputeScale(double scale)
+{
+    COSERVE_CHECK(scale >= 1.0,
+                  "straggler compute scale must be >= 1, got ", scale);
+    computeScale_ = scale;
+}
+
+void
+ServingEngine::setStorageRateScale(double scale)
+{
+    storage_->setRateScale(scale);
 }
 
 RunResult

@@ -205,6 +205,39 @@ class ServingEngine
      */
     RunResult finishOnline();
 
+    // ----- fault injection (cluster coordinator only) ----------------
+
+    /**
+     * Crash this replica at the current virtual time: every queued and
+     * in-flight request is appended to @p out (for re-homing on
+     * surviving replicas), all pending events are dropped, and the
+     * engine goes permanently idle. finishOnline() still collects the
+     * metrics accumulated before the crash.
+     *
+     * @return number of drained requests.
+     */
+    std::size_t crashDrain(std::vector<Request> &out);
+
+    /** @return true once crashDrain() ran. */
+    bool crashed() const { return crashed_; }
+
+    /**
+     * Straggler injection: scale every future batch's compute latency
+     * by @p scale (>= 1 slows the replica down; 1.0 restores full
+     * speed). Live load views reflect the stretched busy times, so
+     * online routing and stealing see the straggler naturally.
+     */
+    void setComputeScale(double scale);
+
+    /** @return the current compute-latency multiplier. */
+    double computeScale() const { return computeScale_; }
+
+    /**
+     * Brownout injection: scale the storage channel's bandwidth for
+     * future transfers (0 < @p scale <= 1 degrades; 1.0 restores).
+     */
+    void setStorageRateScale(double scale);
+
     // ----- API for Scheduler implementations -------------------------
 
     /** @return number of executors. */
@@ -357,6 +390,8 @@ class ServingEngine
     AdmissionController admission_;
 
     double gpuPressure_ = 1.0;
+    /** Straggler fault multiplier on batch latencies (1.0 = nominal). */
+    double computeScale_ = 1.0;
     std::uint64_t loadSeq_ = 0;
     /** Dispatches seen; drives 1-in-16 scheduling-wall sampling. */
     std::uint64_t dispatchCount_ = 0;
@@ -369,6 +404,8 @@ class ServingEngine
     Time lastCompletion_ = 0;
     bool ran_ = false;
     bool online_ = false;
+    /** True once crashDrain() ran (fault injection). */
+    bool crashed_ = false;
 
     RunResult result_;
 };

@@ -92,7 +92,14 @@ Executor::startBatch(ExpertId e)
     pool_.noteHit();
 
     const auto n = static_cast<int>(batchScratch_.size());
-    const Time latency = engine_.truth().batchLatency(arch, cfg_.kind, n);
+    Time latency = engine_.truth().batchLatency(arch, cfg_.kind, n);
+    // Straggler injection: != 1.0 only while a fault plan slows this
+    // replica, so clean runs keep the exact unscaled integer latency.
+    const double slow = engine_.computeScale();
+    if (slow != 1.0) {
+        latency =
+            static_cast<Time>(static_cast<double>(latency) * slow);
+    }
     executing_ = true;
     busyUntil_ = engine_.now() + latency;
 
@@ -100,25 +107,45 @@ Executor::startBatch(ExpertId e)
     stats_.requests += n;
     stats_.busyTime += latency;
 
+    // Park the batch in the executor (not in the completion closure):
+    // a crash between now and the completion must be able to surrender
+    // the in-flight requests for re-homing.
+    runningBatch_ = std::move(batchScratch_);
+
     // Overlap the next group's switch with this batch's execution.
     issuePrefetch();
 
-    engine_.eventQueue().scheduleAfter(
-        latency,
-        [this, e, latency, batch = std::move(batchScratch_)]() mutable {
-            executing_ = false;
-            pool_.unpin(e);
-            pool_.touch(e, engine_.now());
-            for (const Request &req : batch)
-                engine_.onInferenceComplete(*this, req, latency);
-            // Hand the buffer back for the next batch. A batch started
-            // by the completions above used the (empty) moved-from
-            // buffer and already reclaimed it into its own event, so
-            // this keeps whichever capacity survived.
-            batchScratch_ = std::move(batch);
-            batchScratch_.clear();
-            maybeStart();
-        });
+    engine_.eventQueue().scheduleAfter(latency, [this, e, latency]() {
+        executing_ = false;
+        pool_.unpin(e);
+        pool_.touch(e, engine_.now());
+        // Take the batch out first: completions may start a nested
+        // batch on this executor, which re-parks runningBatch_.
+        std::vector<Request> batch = std::move(runningBatch_);
+        runningBatch_.clear();
+        for (const Request &req : batch)
+            engine_.onInferenceComplete(*this, req, latency);
+        // Hand the buffer back for the next batch. A batch started by
+        // the completions above used the (empty) moved-from buffer, so
+        // this keeps whichever capacity survived.
+        batchScratch_ = std::move(batch);
+        batchScratch_.clear();
+        maybeStart();
+    });
+}
+
+std::size_t
+Executor::surrenderRunning(std::vector<Request> &out)
+{
+    if (!executing_)
+        return 0;
+    const std::size_t n = runningBatch_.size();
+    out.insert(out.end(), runningBatch_.begin(), runningBatch_.end());
+    runningBatch_.clear();
+    executing_ = false;
+    busyUntil_ = engine_.now();
+    demandLoadStart_ = -1;
+    return n;
 }
 
 void

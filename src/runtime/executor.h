@@ -71,6 +71,22 @@ class Executor
         return queue_.stealFromTail(maxCount, out, allow);
     }
 
+    /**
+     * Crash support: surrender the in-flight batch (if any) into
+     * @p out — its completion event never runs, the work must finish
+     * elsewhere — and mark the executor idle.
+     *
+     * @return number of surrendered requests.
+     */
+    std::size_t surrenderRunning(std::vector<Request> &out);
+
+    /** Crash support: move every queued request into @p out. */
+    std::size_t
+    drainQueue(std::vector<Request> &out)
+    {
+        return static_cast<std::size_t>(queue_.drainAll(out));
+    }
+
     /** @return the queue (schedulers inspect it). */
     const RequestQueue &queue() const { return queue_; }
 
@@ -123,12 +139,19 @@ class Executor
     ExpertId softPinned_ = kNoExpert;
     Time busyUntil_ = 0;
     /**
-     * Recycled batch buffer: startBatch() pops into it, moves it into
-     * the completion event, and the completion hands the (cleared)
-     * buffer back — so the steady path allocates no vectors. Only one
-     * batch runs at a time, so a single buffer suffices.
+     * Recycled batch buffer: startBatch() pops into it, parks the
+     * batch in runningBatch_ for the duration of the execution, and
+     * the completion hands the (cleared) buffer back — so the steady
+     * path allocates no vectors. Only one batch runs at a time, so a
+     * single buffer suffices.
      */
     std::vector<Request> batchScratch_;
+    /**
+     * The batch currently executing (empty when idle). Kept in the
+     * executor — not captured in the completion event — so a crash
+     * can surrender in-flight work for re-homing on a sibling replica.
+     */
+    std::vector<Request> runningBatch_;
     /** Start time of an outstanding demand load; -1 when none. */
     Time demandLoadStart_ = -1;
     ExecutorStats stats_;

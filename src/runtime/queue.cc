@@ -362,6 +362,19 @@ RequestQueue::stealFromTail(int maxCount, std::vector<Request> &out,
     return stolen;
 }
 
+int
+RequestQueue::drainAll(std::vector<Request> &out)
+{
+    int drained = 0;
+    while (head_ != kNil) {
+        noteRemoved(head_);
+        out.push_back(std::move(nodes_[head_].entry.req));
+        unlinkHead();
+        ++drained;
+    }
+    return drained;
+}
+
 std::vector<Request>
 RequestQueue::snapshot() const
 {

@@ -176,6 +176,15 @@ class RequestQueue
         }
     }
 
+    /**
+     * Crash support: remove *every* queued request (head included,
+     * unlike stealFromTail — a dead replica keeps nothing), appending
+     * them to @p out in queue order.
+     *
+     * @return number of requests removed.
+     */
+    int drainAll(std::vector<Request> &out);
+
     /** Snapshot of queued requests in order (tests / debugging). */
     std::vector<Request> snapshot() const;
 

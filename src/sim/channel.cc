@@ -21,8 +21,19 @@ Time
 BandwidthChannel::transferDuration(std::int64_t bytes) const
 {
     COSERVE_CHECK(bytes >= 0, "negative transfer size");
+    // rateScale_ == 1.0 leaves the arithmetic bit-identical to the
+    // unscaled expression (multiplying a double by 1.0 is exact).
     return fixedLatency_ +
-           seconds(static_cast<double>(bytes) / bytesPerSecond_);
+           seconds(static_cast<double>(bytes) /
+                   (bytesPerSecond_ * rateScale_));
+}
+
+void
+BandwidthChannel::setRateScale(double scale)
+{
+    COSERVE_CHECK(scale > 0, "channel ", name_,
+                  " rate scale must be > 0, got ", scale);
+    rateScale_ = scale;
 }
 
 Time

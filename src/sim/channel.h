@@ -64,11 +64,24 @@ class BandwidthChannel
     /** @return diagnostic name. */
     const std::string &name() const { return name_; }
 
+    /**
+     * Scale the channel's effective bandwidth for *future* transfers
+     * (fault injection: a storage brownout delivers a fraction of the
+     * provisioned bandwidth). In-flight transfers keep the rate they
+     * started with. @p scale must be > 0; 1.0 restores full speed.
+     */
+    void setRateScale(double scale);
+
+    /** @return the current bandwidth scale (1.0 = nominal). */
+    double rateScale() const { return rateScale_; }
+
   private:
     EventQueue &eq_;
     std::string name_;
     double bytesPerSecond_;
     Time fixedLatency_;
+    /** Fault-injection bandwidth multiplier (brownouts). */
+    double rateScale_ = 1.0;
     Time busyUntil_ = 0;
     std::int64_t totalBytes_ = 0;
     std::uint64_t transfers_ = 0;

@@ -114,6 +114,17 @@ EventQueue::runUntil(Time until)
 }
 
 void
+EventQueue::clear()
+{
+    heap_.clear();
+    slots_.clear();
+    freeSlots_.clear();
+    live_ = 0;
+    // now_, executed_ and nextSeq_ survive: the clock stays monotonic
+    // and stale EventIds can never alias a post-clear slot.
+}
+
+void
 EventQueue::siftUp(std::size_t i)
 {
     while (i > 0) {

@@ -102,6 +102,14 @@ class EventQueue
     /** @return number of pending *live* (non-cancelled) events. */
     std::size_t pending() const { return live_; }
 
+    /**
+     * Drop every pending event (their callbacks are destroyed without
+     * running). The clock and the executed-event counter are kept —
+     * this models a crash, not a reset: time keeps its meaning, the
+     * queue simply has no future. Fault injection only.
+     */
+    void clear();
+
     /** @return total number of events executed so far. */
     std::uint64_t executed() const { return executed_; }
 

@@ -159,7 +159,7 @@ TEST_F(ClusterFixture, SingleReplicaReproducesServingEngine)
           RoutingPolicy::ExpertAffinity}) {
         ClusterEngine cluster(
             homogeneousCluster(ctx_, cfg_, 1, policy));
-        const ClusterResult r = cluster.run(trace_);
+        const ClusterResult r = cluster.run(trace_, {});
 
         EXPECT_EQ(r.images, direct.images);
         EXPECT_EQ(r.inferences, direct.inferences);
@@ -177,16 +177,48 @@ TEST_F(ClusterFixture, ParallelAndSequentialRunsAgree)
         ctx_, cfg_, 3, RoutingPolicy::LeastLoaded);
     seqCfg.parallel = false;
     ClusterEngine sequential(std::move(seqCfg));
-    const ClusterResult a = sequential.run(trace_);
+    const ClusterResult a = sequential.run(trace_, {});
 
     ClusterEngine parallel(homogeneousCluster(
         ctx_, cfg_, 3, RoutingPolicy::LeastLoaded));
-    const ClusterResult b = parallel.run(trace_);
+    const ClusterResult b = parallel.run(trace_, {});
 
     EXPECT_EQ(a.images, b.images);
     EXPECT_EQ(a.makespan, b.makespan);
     EXPECT_EQ(a.switches.total(), b.switches.total());
     EXPECT_EQ(a.imagesPerReplica, b.imagesPerReplica);
+    // Static runs digest their (precomputed) route stream; identical
+    // assignments mean identical digests regardless of `parallel`.
+    EXPECT_EQ(a.decisionDigest, b.decisionDigest);
+    EXPECT_EQ(a.decisionCount,
+              static_cast<std::int64_t>(trace_.size()));
+}
+
+TEST_F(ClusterFixture, DeprecatedEntryPointsForwardToRun)
+{
+    // The legacy methods are one-line forwarders; they must produce
+    // exactly what the RunOptions spellings produce.
+    ClusterConfig modern = homogeneousCluster(
+        ctx_, cfg_, 2, RoutingPolicy::LeastLoaded);
+    ClusterEngine a(std::move(modern));
+    const ClusterResult want =
+        a.run(trace_, runWithMode(RunMode::Static));
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    ClusterEngine b(
+        homogeneousCluster(ctx_, cfg_, 2, RoutingPolicy::LeastLoaded));
+    const ClusterResult viaLegacyRun = b.run(trace_);
+    ClusterEngine c(
+        homogeneousCluster(ctx_, cfg_, 2, RoutingPolicy::LeastLoaded));
+    const ClusterResult viaRunStatic = c.runStatic(trace_);
+#pragma GCC diagnostic pop
+
+    for (const ClusterResult *r : {&viaLegacyRun, &viaRunStatic}) {
+        EXPECT_EQ(r->images, want.images);
+        EXPECT_EQ(r->makespan, want.makespan);
+        EXPECT_EQ(r->decisionDigest, want.decisionDigest);
+    }
 }
 
 TEST(ClusterResultTest, AggregationMath)
@@ -248,7 +280,7 @@ TEST_F(ClusterFixture, EmptyShardReplicasProduceEmptyResults)
 
     ClusterEngine cluster(homogeneousCluster(
         ctx_, cfg_, 4, RoutingPolicy::ExpertAffinity));
-    const ClusterResult r = cluster.run(narrow);
+    const ClusterResult r = cluster.run(narrow, {});
 
     EXPECT_EQ(r.images, 32);
     std::int64_t nonEmpty = 0;

@@ -66,8 +66,10 @@ class OnlineClusterFixture : public ::testing::Test
     {
         ClusterConfig cc = homogeneousCluster(
             ctx_, cfg_, replicas, RoutingPolicy::LeastLoaded, "online");
+        // The legacy mode switch: RunOptions{} (RunMode::Auto) must
+        // honor it, which this fixture's run(trace, {}) calls cover.
         cc.onlineRouting = true;
-        cc.workStealing = stealing;
+        cc.workStealing.enabled = stealing;
         cc.parallel = parallel;
         return cc;
     }
@@ -97,7 +99,7 @@ TEST_F(OnlineClusterFixture, StaticRunMatchesRouteTraceAssignment)
             expected[r] += 1;
 
         ClusterEngine cluster(homogeneousCluster(ctx_, cfg_, 3, policy));
-        const ClusterResult result = cluster.run(trace_);
+        const ClusterResult result = cluster.run(trace_, {});
         ASSERT_EQ(result.imagesPerReplica.size(), 3u);
         EXPECT_EQ(result.imagesPerReplica, expected)
             << "policy " << toString(policy);
@@ -110,7 +112,7 @@ TEST_F(OnlineClusterFixture, StaticRunMatchesRouteTraceAssignment)
 TEST_F(OnlineClusterFixture, OnlineModeServesEveryImage)
 {
     ClusterEngine cluster(onlineConfig(4, /*stealing=*/false));
-    const ClusterResult r = cluster.run(trace_);
+    const ClusterResult r = cluster.run(trace_, {});
     EXPECT_EQ(r.images, 400);
     EXPECT_GT(r.makespan, 0);
     EXPECT_EQ(r.stolenRequests, 0);
@@ -138,15 +140,19 @@ TEST_F(OnlineClusterFixture, OnlineModeDeterministicAcrossParallelFlag)
             ClusterConfig cb = onlineConfig(3, stealing, /*parallel=*/false);
             if (sharedTier) {
                 for (ClusterConfig *cc : {&ca, &cb}) {
-                    cc->shareCpuTier = true;
-                    cc->sharedCpuTierBytes = 512ll * 1024 * 1024;
+                    cc->sharedCpu.enabled = true;
+                    cc->sharedCpu.bytes = 512ll * 1024 * 1024;
                 }
             }
             ClusterEngine a(std::move(ca));
             ClusterEngine b(std::move(cb));
-            const ClusterResult ra = a.run(trace_);
-            const ClusterResult rb = b.run(trace_);
+            const ClusterResult ra = a.run(trace_, {});
+            const ClusterResult rb = b.run(trace_, {});
 
+            // Equal decision digests subsume every aggregate check
+            // below — kept anyway as the diagnostic breakdown.
+            EXPECT_EQ(ra.decisionDigest, rb.decisionDigest);
+            EXPECT_EQ(ra.decisionCount, rb.decisionCount);
             EXPECT_EQ(ra.images, rb.images);
             EXPECT_EQ(ra.makespan, rb.makespan);
             EXPECT_EQ(ra.inferences, rb.inferences);
@@ -199,13 +205,13 @@ TEST_F(OnlineClusterFixture, StealCountersReconcile)
     ClusterConfig cc = heterogeneousCluster(
         {{&ctx_, cfg_}, {&slowCtx, slowCfg}}, RoutingPolicy::LeastLoaded,
         "steal");
-    cc.onlineRouting = true;
-    cc.workStealing = true;
-    cc.stealBacklogThreshold = 2;
-    cc.stealMinBacklog = milliseconds(20);
+    cc.workStealing.enabled = true;
+    cc.workStealing.backlogThreshold = 2;
+    cc.workStealing.minBacklog = milliseconds(20);
 
     ClusterEngine cluster(std::move(cc));
-    const ClusterResult r = cluster.run(trace_);
+    const ClusterResult r =
+        cluster.run(trace_, runWithMode(RunMode::Online));
 
     EXPECT_EQ(r.images, 400);
     ASSERT_EQ(r.stolenFromReplica.size(), 2u);
@@ -236,13 +242,13 @@ TEST_F(OnlineClusterFixture, StealingRespectsReplicaCapability)
     ClusterConfig cc = heterogeneousCluster(
         {{&ctx_, cfg_}, {&partialCtx, cfg_}}, RoutingPolicy::LeastLoaded,
         "partial-steal");
-    cc.onlineRouting = true;
-    cc.workStealing = true;
-    cc.stealBacklogThreshold = 2;
-    cc.stealMinBacklog = milliseconds(20);
+    cc.workStealing.enabled = true;
+    cc.workStealing.backlogThreshold = 2;
+    cc.workStealing.minBacklog = milliseconds(20);
     ClusterEngine cluster(std::move(cc));
 
-    const ClusterResult r = cluster.run(trace_);
+    const ClusterResult r =
+        cluster.run(trace_, runWithMode(RunMode::Online));
     EXPECT_EQ(r.images, 400);
     // Whatever it stole must have been servable — completing without
     // a COSERVE_CHECK abort is the regression assertion; the counters
@@ -384,12 +390,12 @@ TEST_F(OnlineClusterFixture, CapabilityCoversTheDetectionChain)
     ClusterConfig cc = heterogeneousCluster(
         {{&ctx_, cfg_}, {&partialCtx, cfg_}},
         RoutingPolicy::LeastLoaded, "chain-steal");
-    cc.onlineRouting = true;
-    cc.workStealing = true;
-    cc.stealBacklogThreshold = 2;
-    cc.stealMinBacklog = milliseconds(20);
+    cc.workStealing.enabled = true;
+    cc.workStealing.backlogThreshold = 2;
+    cc.workStealing.minBacklog = milliseconds(20);
     ClusterEngine cluster(std::move(cc));
-    const ClusterResult r = cluster.run(trace_);
+    const ClusterResult r =
+        cluster.run(trace_, runWithMode(RunMode::Online));
     EXPECT_EQ(r.images, 400);
 }
 
@@ -415,7 +421,7 @@ TEST_F(OnlineClusterFixture, AffinityHeteroNumaUmaClusterServes)
         RoutingPolicy::ExpertAffinity, "numa-uma");
     cc.parallel = false;
     ClusterEngine cluster(std::move(cc));
-    const ClusterResult r = cluster.run(trace_);
+    const ClusterResult r = cluster.run(trace_, {});
     EXPECT_EQ(r.images, 400);
     std::int64_t total = 0;
     for (std::int64_t n : r.imagesPerReplica)

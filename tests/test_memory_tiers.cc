@@ -287,10 +287,10 @@ TEST_F(TierClusterFixture, SharedTierReportedOnceInClusterResult)
     ClusterConfig cc = homogeneousCluster(ctx_, cfg_, 2,
                                           RoutingPolicy::RoundRobin,
                                           "shared");
-    cc.shareCpuTier = true;
+    cc.sharedCpu.enabled = true;
     cc.parallel = false; // deterministic population order
     ClusterEngine cluster(std::move(cc));
-    const ClusterResult r = cluster.run(trace_);
+    const ClusterResult r = cluster.run(trace_, {});
 
     EXPECT_EQ(r.images, 400);
     const TierStats *shared = findTierStats(r.tiers, "cpu.shared");
@@ -317,16 +317,17 @@ TEST_F(TierClusterFixture, SharedTierBeatsPrivateTiersOnHitRate)
                                             "private");
     priv.parallel = false;
     ClusterEngine privCluster(std::move(priv));
-    const double privRate = hitRate(privCluster.run(trace_), "cpu.cache");
+    const double privRate =
+        hitRate(privCluster.run(trace_, {}), "cpu.cache");
 
     ClusterConfig shared = homogeneousCluster(ctx_, cfg_, 2,
                                               RoutingPolicy::RoundRobin,
                                               "shared");
-    shared.shareCpuTier = true; // same total DRAM, one tier
+    shared.sharedCpu.enabled = true; // same total DRAM, one tier
     shared.parallel = false;
     ClusterEngine sharedCluster(std::move(shared));
     const double sharedRate =
-        hitRate(sharedCluster.run(trace_), "cpu.shared");
+        hitRate(sharedCluster.run(trace_, {}), "cpu.shared");
 
     ASSERT_GE(privRate, 0.0);
     EXPECT_GT(sharedRate, privRate);
@@ -339,7 +340,7 @@ TEST_F(TierClusterFixture, PrivateTiersMergeAcrossReplicas)
                                           "merge");
     cc.parallel = false;
     ClusterEngine cluster(std::move(cc));
-    const ClusterResult r = cluster.run(trace_);
+    const ClusterResult r = cluster.run(trace_, {});
 
     const TierStats *cache = findTierStats(r.tiers, "cpu.cache");
     ASSERT_NE(cache, nullptr);
@@ -374,7 +375,7 @@ TEST_F(TierClusterFixture, HeterogeneousClusterMixedDevices)
     ClusterEngine cluster(std::move(cc));
     ASSERT_EQ(cluster.numReplicas(), 4u);
 
-    const ClusterResult r = cluster.run(trace_);
+    const ClusterResult r = cluster.run(trace_, {});
     EXPECT_EQ(r.images, 400);
     ASSERT_EQ(r.replicas.size(), 4u);
     ASSERT_EQ(r.imagesPerReplica.size(), 4u);

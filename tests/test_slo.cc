@@ -562,7 +562,7 @@ class SloClusterFixture : public SloServingFixture
         ClusterConfig cc = homogeneousCluster(
             ctx_, cfg_, 4, RoutingPolicy::LeastLoaded, "slo-cluster");
         cc.onlineRouting = true;
-        cc.workStealing = true;
+        cc.workStealing.enabled = true;
         cc.parallel = parallel;
         cc.admission.enabled = true;
         if (autoscale) {
@@ -580,8 +580,12 @@ TEST_F(SloClusterFixture, OnlineSloServingReconcilesAndIsDeterministic)
     for (bool autoscale : {false, true}) {
         ClusterEngine a(onlineConfig(autoscale, /*parallel=*/true));
         ClusterEngine b(onlineConfig(autoscale, /*parallel=*/false));
-        const ClusterResult ra = a.run(trace_);
-        const ClusterResult rb = b.run(trace_);
+        const ClusterResult ra = a.run(trace_, {});
+        const ClusterResult rb = b.run(trace_, {});
+
+        // The decision stream (routes + admission verdicts + scale
+        // actions) must match before any aggregate does.
+        EXPECT_EQ(ra.decisionDigest, rb.decisionDigest);
 
         // Conservation: completed + rejected == arrivals.
         EXPECT_EQ(ra.images + ra.slo.rejected(),
@@ -639,7 +643,7 @@ TEST_F(SloClusterFixture, AutoscaleStartupCoversHeterogeneousCluster)
     cc.autoscale.startReplicas = 1; // replica 0 alone cannot serve
 
     ClusterEngine cluster(std::move(cc));
-    const ClusterResult r = cluster.run(trace_);
+    const ClusterResult r = cluster.run(trace_, {});
     EXPECT_EQ(r.images, static_cast<std::int64_t>(trace_.size()));
 }
 
@@ -662,7 +666,7 @@ TEST_F(SloClusterFixture, QuiesceEvacuatesQueuedWork)
     cc.autoscale.violationHigh = 2.0; // never scale up
 
     ClusterEngine cluster(std::move(cc));
-    const ClusterResult r = cluster.run(trace_);
+    const ClusterResult r = cluster.run(trace_, {});
     EXPECT_EQ(r.images, static_cast<std::int64_t>(trace_.size()));
     EXPECT_EQ(r.autoscaleQuiesces, 3); // down to minReplicas
     EXPECT_GT(r.autoscaleEvacuated, 0);

@@ -127,11 +127,23 @@ def main() -> int:
                       f"the scenario intentionally dropped it")
                 determinism_failures += 1
             elif cur_sim != base_sim:
-                print(f"::error::sim determinism drift in "
-                      f"'{scenario}': {field} {cur_sim!r} vs baseline "
-                      f"{base_sim!r} — refresh "
-                      f"bench/BENCH_baseline.json if this change "
-                      f"touched the simulation")
+                if field.startswith("sim_digest"):
+                    # The decision digest folds every coordinator
+                    # decision (route/steal/admit/scale/fault) into one
+                    # value: a mismatch means the *schedule* changed,
+                    # not just a summary statistic.
+                    print(f"::error::decision digest mismatch in "
+                          f"'{scenario}': {field} {cur_sim!r} vs "
+                          f"baseline {base_sim!r} — the coordinator "
+                          f"took different decisions; refresh "
+                          f"bench/BENCH_baseline.json only if the "
+                          f"scheduling change is intentional")
+                else:
+                    print(f"::error::sim determinism drift in "
+                          f"'{scenario}': {field} {cur_sim!r} vs "
+                          f"baseline {base_sim!r} — refresh "
+                          f"bench/BENCH_baseline.json if this change "
+                          f"touched the simulation")
                 determinism_failures += 1
 
     if warnings == 0 and determinism_failures == 0:
