@@ -17,6 +17,7 @@
 
 #include "baselines/systems.h"
 #include "coe/board_builder.h"
+#include "core/coserve.h"
 #include "util/logging.h"
 #include "util/strutil.h"
 #include "util/table.h"
@@ -76,6 +77,77 @@ harnessFor(const DeviceSpec &dev, const CoEModel &model)
     if (numa)
         return boardA ? numaA : numaB;
     return boardA ? umaA : umaB;
+}
+
+// -------------------------------------- preemption study (Figure 25)
+
+/**
+ * Dense deployment for the preemption/migration study. Figures 13-24
+ * exercise the switch-bound regime (boardA's 380 experts thrash every
+ * tier); preemption targets the opposite regime — executors
+ * compute-busy on long lower-class batches when an urgent request
+ * lands — which needs experts resident and compute, not loading, as
+ * the long pole.
+ */
+inline BoardSpec
+preemptDenseBoard()
+{
+    BoardSpec s;
+    s.name = "fig25-dense";
+    s.numComponents = 36;
+    s.numDetectionExperts = 6;
+    s.headFraction = 0.4;
+    s.headMass = 0.85;
+    s.seed = 0x25;
+    return s;
+}
+
+inline const CoEModel &
+preemptDenseModel()
+{
+    static const CoEModel m = buildBoard(preemptDenseBoard());
+    return m;
+}
+
+/**
+ * The Table 1 NUMA node derated to a shared/thermally-capped operating
+ * point, so batch execution times dominate expert movement.
+ */
+inline const DeviceSpec &
+preemptEdgeDevice()
+{
+    static const DeviceSpec d = [] {
+        DeviceSpec dev = numaRtx3080Ti();
+        dev.name = "NUMA edge (RTX3080Ti @ 35% shared)";
+        dev.gpu.computeScale = 0.35;
+        return dev;
+    }();
+    return d;
+}
+
+inline Harness &
+preemptHarness()
+{
+    static Harness h(preemptEdgeDevice(), preemptDenseModel());
+    return h;
+}
+
+/**
+ * One GPU + one CPU executor per replica, maximum expert residency:
+ * the dense working set stays hot, so a burst finds executors
+ * mid-batch rather than mid-load. The CPU DRAM cache tier doubles as
+ * the checkpoint parking tier.
+ */
+inline EngineConfig
+preemptReplicaConfig()
+{
+    const CoServeContext &ctx = preemptHarness().context();
+    const auto bounds = gpuExpertCountBounds(ctx, 1, 1);
+    EngineConfig cfg = coserveConfig(
+        ctx, coserveExecutorLayout(ctx, 1, 1, bounds.second), "fig25");
+    cfg.cpuCacheTier = true;
+    cfg.cpuCacheBytes = ctx.device().cpuMemoryBytes / 2;
+    return cfg;
 }
 
 /** The five systems of Figures 13/14, in the paper's legend order. */

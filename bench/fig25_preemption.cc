@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Figure 25: preemptive checkpoint/restore and live migration.
+ *
+ * Serves one bursty multi-tenant SLO trace on a 3-replica cluster in
+ * four coordination modes — static route-then-shard, online
+ * (steal + admission + autoscale), online + deadline-rescue
+ * preemption, online + preemption + live migration — under a clean
+ * plan and a crash-at-peak plan. Reports interactive-class goodput
+ * (deadline rescues pause a running Batch group at a step boundary,
+ * checkpoint it through the tier machinery, run the urgent request,
+ * restore), autoscaler quiesce drain latency (migration moves
+ * checkpointed in-flight groups instead of waiting out the longest
+ * batch), and crash recovery resuming partially-executed groups from
+ * their last checkpoint. Verdict lines are CI-grepped (": NO " fails
+ * the job).
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "cluster/cluster.h"
+#include "core/coserve.h"
+#include "metrics/report.h"
+#include "workload/generator.h"
+
+using namespace coserve;
+
+namespace {
+
+enum class Mode { Static, Online, Preempt, PreemptMigrate };
+
+const char *
+toString(Mode mode)
+{
+    switch (mode) {
+    case Mode::Static: return "static";
+    case Mode::Online: return "online";
+    case Mode::Preempt: return "online+preempt";
+    case Mode::PreemptMigrate: return "online+preempt+migrate";
+    }
+    return "?";
+}
+
+enum class Plan { Clean, Crash };
+
+const char *
+toString(Plan plan)
+{
+    switch (plan) {
+    case Plan::Clean: return "clean";
+    case Plan::Crash: return "crash@peak";
+    }
+    return "?";
+}
+
+Trace
+burstyTrace()
+{
+    // Long-running Batch groups keep executors busy so an Interactive
+    // burst finds every slot occupied mid-batch: exactly the state
+    // where a deadline rescue (pause/checkpoint/run/restore) is the
+    // only way to make the budget. MMPP bursts stress the tail.
+    TenantSpec interactive;
+    interactive.name = "interactive";
+    interactive.cls = RequestClass::Interactive;
+    interactive.ratePerSec = 30.0;
+    interactive.latencyBudget = milliseconds(500);
+    interactive.arrivals = ArrivalProcess::MMPP;
+    interactive.mmppBurstFactor = 6.0;
+    interactive.diurnalAmplitude = 0.8;
+    interactive.diurnalPeriod = seconds(120);
+    TenantSpec batch;
+    batch.name = "batch";
+    batch.cls = RequestClass::Batch;
+    batch.ratePerSec = 50.0;
+    batch.latencyBudget = seconds(20);
+    return generateSloTrace(bench::preemptDenseModel(),
+                            {interactive, batch}, seconds(120), 0xF25);
+}
+
+FaultPlan
+faultsFor(Plan plan)
+{
+    FaultPlan faults;
+    if (plan == Plan::Crash)
+        faults.crashes.push_back({2, seconds(30)});
+    return faults;
+}
+
+ClusterResult
+runCase(const Harness &h, const EngineConfig &cfg, const Trace &trace,
+        Mode mode, Plan plan)
+{
+    ClusterConfig cc = homogeneousCluster(
+        h.context(), cfg, 3, RoutingPolicy::LeastLoaded, "fig25");
+    if (mode != Mode::Static) {
+        cc.workStealing.enabled = true;
+        cc.admission.enabled = true;
+        cc.admission.slack = 1.25;
+        cc.autoscale.enabled = true;
+        cc.autoscale.interval = seconds(1);
+        cc.autoscale.cooldown = seconds(2);
+        cc.autoscale.minReplicas = 1;
+        cc.autoscale.startReplicas = 3;
+    }
+    if (mode == Mode::Preempt || mode == Mode::PreemptMigrate) {
+        cc.preemption.enabled = true;
+        cc.preemption.minRunQuantum = milliseconds(20);
+        cc.preemption.maxPreemptionsPerGroup = 2;
+    }
+    if (mode == Mode::PreemptMigrate) {
+        cc.preemption.migration = true;
+        cc.preemption.migrationMinRemaining = milliseconds(20);
+    }
+    RunOptions opts = runWithMode(
+        mode == Mode::Static ? RunMode::Static : RunMode::Online);
+    opts.faults = faultsFor(plan);
+    ClusterEngine cluster(std::move(cc));
+    return cluster.run(trace, opts);
+}
+
+double
+interactiveGoodput(const ClusterResult &r)
+{
+    const SloClassStats &c = r.slo.of(RequestClass::Interactive);
+    return r.makespan > 0
+               ? static_cast<double>(c.completed - c.violated) /
+                     toSeconds(r.makespan)
+               : 0.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 25",
+                  "Preemptive checkpoint/restore + live migration: "
+                  "deadline-rescue goodput, quiesce latency, and crash "
+                  "recovery of in-flight groups");
+
+    Harness &h = bench::preemptHarness();
+    const Trace trace = burstyTrace();
+    const EngineConfig cfg = bench::preemptReplicaConfig();
+    std::printf("trace: %zu arrivals over 120 s (bursty interactive + "
+                "long batch groups, dense resident board), crash kills "
+                "replica 2 of 3 at t=30 s\n\n",
+                trace.size());
+
+    Table t({"Mode", "Faults", "Int goodput", "Int p99 (ms)",
+             "Violation", "Rescues", "Migrated", "Quiesce max",
+             "Lost"});
+    const Mode modes[] = {Mode::Static, Mode::Online, Mode::Preempt,
+                          Mode::PreemptMigrate};
+    const Plan plans[] = {Plan::Clean, Plan::Crash};
+    // results[mode][plan]
+    ClusterResult results[4][2];
+    for (Mode mode : modes) {
+        for (Plan plan : plans) {
+            ClusterResult r = runCase(h, cfg, trace, mode, plan);
+            const SloClassStats &interactive =
+                r.slo.of(RequestClass::Interactive);
+            t.addRow({toString(mode), toString(plan),
+                      formatDouble(interactiveGoodput(r), 1),
+                      formatDouble(interactive.latencyMs.quantile(0.99),
+                                   1),
+                      formatPercent(r.slo.violationRate()),
+                      std::to_string(r.preemptions),
+                      std::to_string(r.migratedGroups),
+                      r.quiesceDrains > 0 ? formatTime(r.quiesceDrainMax)
+                                          : std::string("-"),
+                      std::to_string(r.crashLost)});
+            results[static_cast<int>(mode)][static_cast<int>(plan)] =
+                std::move(r);
+        }
+    }
+    t.print();
+
+    const ClusterResult &online = results[1][0];
+    const ClusterResult &preempt = results[2][0];
+    const ClusterResult &migrate = results[3][0];
+    const ClusterResult &migrateCrash = results[3][1];
+    std::printf("\n---- online+preempt+migrate, crash@peak ----\n");
+    std::printf("%s\n", summarize(migrateCrash).c_str());
+
+    // Verdict lines (CI greps ": NO "). Every run already proved the
+    // conservation invariant images + rejected + crashLost == arrivals
+    // by not aborting; the verdicts pin the comparative claims.
+    std::printf("deadline rescues fired (preempt, clean): %s "
+                "(%lld rescues, %lld restored)\n",
+                preempt.preemptions > 0 ? "yes" : "NO",
+                static_cast<long long>(preempt.preemptions),
+                static_cast<long long>(preempt.restoredGroups));
+    const ClusterResult &staticClean = results[0][0];
+    const double baseline = std::max(interactiveGoodput(staticClean),
+                                     interactiveGoodput(online));
+    const bool rescueHelps = interactiveGoodput(migrate) > baseline;
+    std::printf("preempt+migrate beats static/online bursty goodput: "
+                "%s (%.1f vs %.1f img/s interactive)\n",
+                rescueHelps ? "yes" : "NO", interactiveGoodput(migrate),
+                baseline);
+    const bool migrated = migrate.migratedGroups > 0;
+    std::printf("live migration moved checkpointed in-flight groups: "
+                "%s (%lld groups, %lld requests)\n",
+                migrated ? "yes" : "NO",
+                static_cast<long long>(migrate.migratedGroups),
+                static_cast<long long>(migrate.migratedRequests));
+    // Quiesce no longer drains: migrating in-flight groups must beat
+    // waiting out the longest running batch on the quiescing replica.
+    // (Drain latency is tracked by the preemption layer, so the
+    // baseline is preempt-without-migration, which still drains.)
+    const bool quiesceFaster =
+        preempt.quiesceDrains > 0 && migrate.quiesceDrains > 0 &&
+        migrate.quiesceDrainMax < preempt.quiesceDrainMax;
+    std::printf("migration quiesce beats drain-out (max drain): %s "
+                "(%s vs %s)\n",
+                quiesceFaster ? "yes" : "NO",
+                migrate.quiesceDrains > 0
+                    ? formatTime(migrate.quiesceDrainMax).c_str()
+                    : "n/a",
+                preempt.quiesceDrains > 0
+                    ? formatTime(preempt.quiesceDrainMax).c_str()
+                    : "n/a");
+    const bool crashResumes = migrateCrash.crashLost == 0 &&
+                              migrateCrash.restoredGroups > 0;
+    std::printf("crash recovery resumes in-flight groups losslessly: "
+                "%s (%lld restored, %lld lost)\n",
+                crashResumes ? "yes" : "NO",
+                static_cast<long long>(migrateCrash.restoredGroups),
+                static_cast<long long>(migrateCrash.crashLost));
+    return 0;
+}

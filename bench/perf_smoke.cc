@@ -18,7 +18,12 @@
  *                    the online coordinator with admission, deadline
  *                    scheduling, stealing and autoscaling — covers the
  *                    whole SLO layer in the perf trajectory and pins
- *                    its simulated goodput for the determinism gate.
+ *                    its simulated goodput for the determinism gate;
+ *  - preempt_migrate: the Figure 25 dense-board preemption scenario
+ *                    (deadline rescue + checkpoint/restore + live
+ *                    migration) — covers the preemption layer's hot
+ *                    paths and pins its rescue/checkpoint/migration
+ *                    counters for the determinism gate.
  *
  * Each scenario reports events executed, wall time and events/sec, and
  * all three are written to BENCH_perf.json (argv[1] overrides the
@@ -292,6 +297,99 @@ main(int argc, char **argv)
                    static_cast<double>(
                        static_cast<std::uint32_t>(digest)));
         t.addRow({"slo_diurnal", std::to_string(events / kIters),
+                  formatDouble(wall * 1e3 / kIters, 1),
+                  formatDouble(eps, 0), formatDouble(throughput, 1)});
+    }
+
+    // -------------------------------------------------- preempt_migrate
+    {
+        // Figure 25's dense resident board on the derated edge device:
+        // bursty interactive over long Batch groups, preemption +
+        // migration on, one mid-run crash — every preemption-layer
+        // decision kind (Preempt/Checkpoint/Restore/Migrate) lands in
+        // the log, and the counters are pinned as sim_ fields.
+        TenantSpec interactive;
+        interactive.name = "interactive";
+        interactive.cls = RequestClass::Interactive;
+        interactive.ratePerSec = 30.0;
+        interactive.latencyBudget = milliseconds(500);
+        interactive.arrivals = ArrivalProcess::MMPP;
+        interactive.mmppBurstFactor = 6.0;
+        interactive.diurnalAmplitude = 0.8;
+        interactive.diurnalPeriod = seconds(60);
+        TenantSpec batchTenant;
+        batchTenant.name = "batch";
+        batchTenant.cls = RequestClass::Batch;
+        batchTenant.ratePerSec = 50.0;
+        batchTenant.latencyBudget = seconds(20);
+        const Trace preemptTrace = generateSloTrace(
+            bench::preemptDenseModel(), {interactive, batchTenant},
+            seconds(60), 0x9F25);
+        const EngineConfig preemptCfg = bench::preemptReplicaConfig();
+
+        constexpr int kIters = 3;
+        std::uint64_t events = 0;
+        double wall = 0.0, throughput = 0.0;
+        std::int64_t images = 0, preemptions = 0, ckptBytes = 0,
+                     migrated = 0;
+        std::uint64_t digest = 0;
+        for (int i = 0; i < kIters; ++i) {
+            ClusterConfig cc = homogeneousCluster(
+                bench::preemptHarness().context(), preemptCfg, 3,
+                RoutingPolicy::LeastLoaded, "perf-preempt");
+            cc.workStealing.enabled = true;
+            cc.admission.enabled = true;
+            cc.admission.slack = 1.25;
+            cc.autoscale.enabled = true;
+            cc.autoscale.interval = seconds(1);
+            cc.autoscale.cooldown = seconds(2);
+            cc.autoscale.minReplicas = 1;
+            cc.autoscale.startReplicas = 3;
+            cc.preemption.enabled = true;
+            cc.preemption.minRunQuantum = milliseconds(20);
+            cc.preemption.maxPreemptionsPerGroup = 2;
+            cc.preemption.migration = true;
+            cc.preemption.migrationMinRemaining = milliseconds(20);
+            ClusterEngine cluster(std::move(cc));
+            RunOptions opts = runWithMode(RunMode::Online);
+            opts.faults.crashes.push_back({2, seconds(30)});
+            const ClusterResult r = cluster.run(preemptTrace, opts);
+            wall += r.wallSeconds;
+            events += r.eventsExecuted;
+            if (i > 0) {
+                COSERVE_CHECK(r.images == images &&
+                                  r.preemptions == preemptions &&
+                                  r.checkpointBytes == ckptBytes &&
+                                  r.migratedGroups == migrated &&
+                                  r.decisionDigest == digest,
+                              "preempt_migrate iterations diverged");
+            }
+            images = r.images;
+            throughput = r.throughput;
+            preemptions = r.preemptions;
+            ckptBytes = r.checkpointBytes;
+            migrated = r.migratedGroups;
+            digest = r.decisionDigest;
+        }
+        const double eps = static_cast<double>(events) / wall;
+        json.scenario("preempt_migrate");
+        json.field("events", static_cast<double>(events) / kIters);
+        json.field("wall_ms", wall * 1e3 / kIters);
+        json.field("events_per_sec", eps);
+        json.field("images", static_cast<double>(images));
+        json.field("sim_throughput_img_per_sec", throughput);
+        json.field("sim_preemptions", static_cast<double>(preemptions));
+        json.field("sim_checkpoint_bytes",
+                   static_cast<double>(ckptBytes));
+        json.field("sim_migrated_groups",
+                   static_cast<double>(migrated));
+        json.field("sim_digest_hi",
+                   static_cast<double>(
+                       static_cast<std::uint32_t>(digest >> 32)));
+        json.field("sim_digest_lo",
+                   static_cast<double>(
+                       static_cast<std::uint32_t>(digest)));
+        t.addRow({"preempt_migrate", std::to_string(events / kIters),
                   formatDouble(wall * 1e3 / kIters, 1),
                   formatDouble(eps, 0), formatDouble(throughput, 1)});
     }

@@ -2,17 +2,22 @@
  * @file
  * Record/replay CLI over one canned coordinator scenario.
  *
- * The scenario is deliberately rich — 4 replicas, multi-tenant SLO
- * trace, admission + work stealing + autoscaling, one crash and one
- * straggler window — so its decision log covers every record kind.
- * CI records the log with one compiler and replays it with another
- * (and under sanitizers): the simulation promises bit-identical
- * schedules, so any divergence is a determinism bug.
+ * The default scenario is deliberately rich — 4 replicas, multi-tenant
+ * SLO trace, admission + work stealing + autoscaling, one crash and one
+ * straggler window — so its decision log covers every pre-preemption
+ * record kind. The `--preempt` scenario swaps in the Figure 25
+ * dense-board deployment with deadline-rescue preemption and live
+ * migration enabled, so Preempt/Checkpoint/Restore/Migrate records
+ * land in the log too. CI records each log with one compiler and
+ * replays it with another (and under sanitizers): the simulation
+ * promises bit-identical schedules, so any divergence is a
+ * determinism bug.
  *
- *   ./replay_tool digest             # run, print the decision digest
- *   ./replay_tool record <log>       # run, save the decision log
- *   ./replay_tool replay <log>       # re-run forcing <log>'s decisions
- *                                    # (exits 1 on first divergence)
+ *   ./replay_tool digest [--preempt]       # run, print decision digest
+ *   ./replay_tool record <log> [--preempt] # run, save the decision log
+ *   ./replay_tool replay <log> [--preempt] # re-run forcing <log>'s
+ *                                          # decisions (exits 1 on
+ *                                          # first divergence)
  */
 
 #include <cinttypes>
@@ -53,17 +58,67 @@ scenarioTrace()
                             seconds(120), 0x51D);
 }
 
+Trace
+preemptTrace()
+{
+    // Figure 25's bursty interactive over long Batch groups on the
+    // dense resident board (different seed: this is the CI cross-replay
+    // scenario, not the figure).
+    TenantSpec interactive;
+    interactive.name = "interactive";
+    interactive.cls = RequestClass::Interactive;
+    interactive.ratePerSec = 30.0;
+    interactive.latencyBudget = milliseconds(500);
+    interactive.arrivals = ArrivalProcess::MMPP;
+    interactive.mmppBurstFactor = 6.0;
+    interactive.diurnalAmplitude = 0.8;
+    interactive.diurnalPeriod = seconds(60);
+    TenantSpec batch;
+    batch.name = "batch";
+    batch.cls = RequestClass::Batch;
+    batch.ratePerSec = 50.0;
+    batch.latencyBudget = seconds(20);
+    return generateSloTrace(bench::preemptDenseModel(),
+                            {interactive, batch}, seconds(60), 0x8325);
+}
+
 ClusterResult
 runScenario(const std::string &recordPath,
-            const std::string &replayPath)
+            const std::string &replayPath, bool preempt)
 {
-    Harness &h = bench::harnessFor(bench::numaDevice(), bench::modelA());
-    const Trace trace = scenarioTrace();
-    const EngineConfig cfg =
-        h.makeConfig(SystemKind::CoServeCasual, trace, {});
-
-    ClusterConfig cc = homogeneousCluster(
-        h.context(), cfg, 4, RoutingPolicy::LeastLoaded, "replay-tool");
+    ClusterConfig cc;
+    RunOptions opts = runWithMode(RunMode::Online);
+    if (preempt) {
+        // Dense-board deployment with every preemption-layer decision
+        // kind active: deadline rescues, checkpoint/restore, live
+        // migration (steal + quiesce), and crash evacuation of parked
+        // checkpoints.
+        cc = homogeneousCluster(bench::preemptHarness().context(),
+                                bench::preemptReplicaConfig(), 3,
+                                RoutingPolicy::LeastLoaded,
+                                "replay-preempt");
+        cc.preemption.enabled = true;
+        cc.preemption.minRunQuantum = milliseconds(20);
+        cc.preemption.maxPreemptionsPerGroup = 2;
+        cc.preemption.migration = true;
+        cc.preemption.migrationMinRemaining = milliseconds(20);
+        cc.autoscale.minReplicas = 1;
+        cc.autoscale.startReplicas = 3;
+        opts.faults.crashes.push_back({2, seconds(30)});
+    } else {
+        Harness &h =
+            bench::harnessFor(bench::numaDevice(), bench::modelA());
+        const EngineConfig cfg =
+            h.makeConfig(SystemKind::CoServeCasual, scenarioTrace(), {});
+        cc = homogeneousCluster(h.context(), cfg, 4,
+                                RoutingPolicy::LeastLoaded,
+                                "replay-tool");
+        // One crash plus one straggler window: the log must carry
+        // every decision kind the coordinator can emit.
+        opts.faults.crashes.push_back({3, seconds(40)});
+        opts.faults.stragglers.push_back(
+            {1, seconds(20), seconds(60), 3.0});
+    }
     cc.workStealing.enabled = true;
     cc.admission.enabled = true;
     cc.admission.slack = 1.25;
@@ -71,14 +126,10 @@ runScenario(const std::string &recordPath,
     cc.autoscale.interval = seconds(1);
     cc.autoscale.cooldown = seconds(2);
 
-    RunOptions opts = runWithMode(RunMode::Online);
     opts.recordPath = recordPath;
     opts.replayPath = replayPath;
-    // One crash plus one straggler window: the log must carry every
-    // decision kind the coordinator can emit.
-    opts.faults.crashes.push_back({3, seconds(40)});
-    opts.faults.stragglers.push_back({1, seconds(20), seconds(60), 3.0});
 
+    const Trace trace = preempt ? preemptTrace() : scenarioTrace();
     ClusterEngine cluster(std::move(cc));
     return cluster.run(trace, opts);
 }
@@ -92,6 +143,14 @@ report(const ClusterResult &r)
                 static_cast<long long>(r.decisionCount),
                 static_cast<long long>(r.crashRehomed),
                 static_cast<long long>(r.crashLost));
+    if (r.preemptionEnabled) {
+        std::printf("preemptions %lld, checkpointed %lld, "
+                    "restored %lld, migrated %lld\n",
+                    static_cast<long long>(r.preemptions),
+                    static_cast<long long>(r.checkpointedGroups),
+                    static_cast<long long>(r.restoredGroups),
+                    static_cast<long long>(r.migratedGroups));
+    }
     std::printf("digest 0x%016" PRIx64 "\n", r.decisionDigest);
 }
 
@@ -100,26 +159,40 @@ report(const ClusterResult &r)
 int
 main(int argc, char **argv)
 {
-    const char *cmd = argc > 1 ? argv[1] : "digest";
-    if (std::strcmp(cmd, "digest") == 0 && argc <= 2) {
-        report(runScenario("", ""));
+    // `--preempt` may trail any command; strip it before dispatch.
+    bool preempt = false;
+    int n = 1;
+    const char *args[3] = {nullptr, nullptr, nullptr};
+    for (int i = 1; i < argc && n <= 3; ++i) {
+        if (std::strcmp(argv[i], "--preempt") == 0) {
+            preempt = true;
+            continue;
+        }
+        if (n < 3)
+            args[n] = argv[i];
+        ++n;
+    }
+    const char *cmd = n > 1 ? args[1] : "digest";
+    if (std::strcmp(cmd, "digest") == 0 && n <= 2) {
+        report(runScenario("", "", preempt));
         return 0;
     }
-    if (std::strcmp(cmd, "record") == 0 && argc == 3) {
-        const ClusterResult r = runScenario(argv[2], "");
+    if (std::strcmp(cmd, "record") == 0 && n == 3) {
+        const ClusterResult r = runScenario(args[2], "", preempt);
         report(r);
-        std::printf("recorded %s\n", argv[2]);
+        std::printf("recorded %s\n", args[2]);
         return 0;
     }
-    if (std::strcmp(cmd, "replay") == 0 && argc == 3) {
+    if (std::strcmp(cmd, "replay") == 0 && n == 3) {
         // A divergence fatal()s with exit code 1 inside run().
-        const ClusterResult r = runScenario("", argv[2]);
+        const ClusterResult r = runScenario("", args[2], preempt);
         report(r);
-        std::printf("replay OK: every decision matched %s\n", argv[2]);
+        std::printf("replay OK: every decision matched %s\n", args[2]);
         return 0;
     }
     std::fprintf(stderr,
-                 "usage: %s digest | record <log> | replay <log>\n",
+                 "usage: %s digest [--preempt] | record <log> "
+                 "[--preempt] | replay <log> [--preempt]\n",
                  argv[0]);
     return 2;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <functional>
+#include <limits>
 #include <thread>
 
 #include "core/scheduler.h"
@@ -193,6 +195,35 @@ ClusterConfig::validate(const RunOptions &opts) const
         }
     }
 
+    if (preemption.enabled) {
+        if (preemption.minRunQuantum <= 0) {
+            errors.push_back(
+                "preemption.minRunQuantum must be > 0 (the anti-thrash "
+                "quantum is what keeps checkpoint churn bounded)");
+        }
+        if (preemption.maxPreemptionsPerGroup < 1) {
+            errors.push_back(
+                "preemption.maxPreemptionsPerGroup must be >= 1");
+        }
+        if (preemption.migrationMinRemaining < 0) {
+            errors.push_back(
+                "preemption.migrationMinRemaining must be >= 0");
+        }
+    }
+    if (preemption.migration) {
+        if (!preemption.enabled) {
+            errors.push_back(
+                "preemption.migration requires preemption.enabled "
+                "(migration moves *checkpointed* groups)");
+        }
+        if (!online && !opts.faults.any()) {
+            errors.push_back(
+                "preemption.migration requires the coordinator path "
+                "(online mode or a fault plan): static sharded "
+                "replicas cannot exchange in-flight groups");
+        }
+    }
+
     if (sharedCpu.enabled && sharedCpu.bytes == 0) {
         bool anyCache = false;
         for (const ReplicaSpec &r : replicas)
@@ -355,24 +386,6 @@ ClusterEngine::run(const Trace &trace, const RunOptions &opts)
     return out;
 }
 
-ClusterResult
-ClusterEngine::run(const Trace &trace)
-{
-    return run(trace, RunOptions{});
-}
-
-ClusterResult
-ClusterEngine::runStatic(const Trace &trace)
-{
-    return run(trace, runWithMode(RunMode::Static));
-}
-
-ClusterResult
-ClusterEngine::runOnline(const Trace &trace)
-{
-    return run(trace, runWithMode(RunMode::Online));
-}
-
 std::unique_ptr<SharedCpuTier>
 ClusterEngine::makeSharedCpuTier() const
 {
@@ -450,6 +463,7 @@ ClusterEngine::runSharded(const Trace &trace, DecisionTrace &decisions)
         cfg_.label, toString(cfg_.routing), std::move(results));
     out.wallSeconds =
         std::chrono::duration<double>(wallEnd - wallStart).count();
+    out.preemptionEnabled = cfg_.preemption.enabled;
     appendSharedTierStats(out, sharedCpu.get());
     return out;
 }
@@ -463,6 +477,11 @@ ClusterEngine::makeReplicaEngine(std::size_t i,
     cfg.label = cfg_.label + "/replica" + std::to_string(i);
     if (sharedCpu != nullptr)
         cfg.externalCpuTier = sharedCpu;
+    // Cluster-level preemption policy applies uniformly: migration
+    // break-even and hysteresis must agree across replicas or a group
+    // migratable at its source would be un-adoptable at its target.
+    if (cfg_.preemption.enabled)
+        cfg.preemption = cfg_.preemption;
     return makeCoServeEngine(*spec.ctx, std::move(cfg));
 }
 
@@ -552,6 +571,68 @@ ClusterEngine::runCoordinated(const Trace &trace,
         }
     }
 
+    // ----- preemption / live migration state -------------------------
+
+    const bool preemptOn = cfg_.preemption.enabled;
+    const bool migrationOn = preemptOn && cfg_.preemption.migration;
+    std::int64_t migratedGroups = 0, migratedRequests = 0;
+    std::vector<PreemptEvent> pevBuf;
+    // Replica-local preemption decisions (pause / checkpoint / restore)
+    // are part of the replayable schedule: drained into the decision
+    // stream in replica order after every step, so the interleaving is
+    // deterministic.
+    const auto drainPreempt = [&](std::size_t i) {
+        if (!preemptOn)
+            return;
+        pevBuf.clear();
+        engines[i]->drainPreemptEvents(pevBuf);
+        for (const PreemptEvent &ev : pevBuf) {
+            DecisionKind kind = DecisionKind::Preempt;
+            if (ev.what == PreemptEvent::What::Checkpoint)
+                kind = DecisionKind::Checkpoint;
+            else if (ev.what == PreemptEvent::What::Restore)
+                kind = DecisionKind::Restore;
+            decisions.note({ev.time, kind,
+                            static_cast<std::uint64_t>(i),
+                            static_cast<std::uint64_t>(ev.executor),
+                            ev.count});
+        }
+    };
+    // Routes completed checkpoint saves out of replica outboxes; bound
+    // below, after the capability filters exist (stepAll needs it).
+    std::function<void(Time)> drainOutboxes;
+
+    // Quiesce-drain latency: virtual time from a quiesce decision to
+    // the replica going fully idle — the metric migration shrinks (no
+    // more waiting out the longest running batch).
+    std::vector<Time> quiesceStart(n, kTimeNever);
+    std::size_t quiescing = 0;
+    std::int64_t quiesceDrains = 0;
+    Time quiesceDrainTotal = 0, quiesceDrainMax = 0;
+    const auto noteQuiesceDrains = [&]() {
+        if (quiescing == 0)
+            return;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (quiesceStart[i] == kTimeNever)
+                continue;
+            if (crashed[i] != 0 || active[i] != 0) {
+                // Died or was re-activated mid-drain: not a completed
+                // quiesce, so it does not enter the drain statistics.
+                quiesceStart[i] = kTimeNever;
+                quiescing -= 1;
+                continue;
+            }
+            if (engines[i]->nextEventTime() != kTimeNever)
+                continue;
+            const Time drain = engines[i]->now() - quiesceStart[i];
+            quiesceDrains += 1;
+            quiesceDrainTotal += drain;
+            quiesceDrainMax = std::max(quiesceDrainMax, drain);
+            quiesceStart[i] = kTimeNever;
+            quiescing -= 1;
+        }
+    };
+
     std::vector<ReplicaLoadView> live(n);
     // Snapshots are rebuilt lazily: a replica's observable state only
     // changes when it executes events or accepts a request, so clean
@@ -571,9 +652,14 @@ ClusterEngine::runCoordinated(const Trace &trace,
 
     const auto stepAll = [&](Time t) {
         for (std::size_t i = 0; i < n; ++i) {
-            if (engines[i]->stepUntil(t) > 0)
+            if (engines[i]->stepUntil(t) > 0) {
                 dirty[i] = 1;
+                drainPreempt(i);
+            }
         }
+        if (drainOutboxes)
+            drainOutboxes(t);
+        noteQuiesceDrains();
     };
 
     // A thief may only steal requests its context can serve: on a
@@ -586,7 +672,8 @@ ClusterEngine::runCoordinated(const Trace &trace,
     // quiesce-evacuation and crash re-homing reuse the same filters.
     const CoEModel &model = cfg_.replicas.front().ctx->model();
     std::vector<RequestQueue::StealFilter> canServe(n);
-    if (cfg_.workStealing.enabled || as.enabled || opts.faults.any()) {
+    if (cfg_.workStealing.enabled || as.enabled || opts.faults.any() ||
+        migrationOn) {
         for (std::size_t i = 0; i < n; ++i) {
             canServe[i] = [&model,
                            view = views[i]](const Request &req) {
@@ -626,6 +713,74 @@ ClusterEngine::runCoordinated(const Trace &trace,
         sharedCpu->hintUpcomingLoads(lootExperts);
     };
 
+    // Migration target selection, shared by the outbox drain and crash
+    // evacuation: least-backlogged active capable replica of the
+    // image's processor kind (ties: lowest index). A live source with
+    // no target keeps its group (self-migration, recorded so replays
+    // cover the fallback); a dead source's unroutable group is lost —
+    // the caller accounts it. Assumes refreshViews() ran.
+    std::vector<CheckpointImage> outboxBuf, crashImgBuf;
+    const auto routeCheckpoint = [&](std::size_t src,
+                                     CheckpointImage img, Time now) {
+        std::size_t target = n;
+        Time bestLoad = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (i == src || !active[i] || crashed[i] ||
+                !engines[i]->hasExecutorKind(img.kind))
+                continue;
+            bool ok = true;
+            for (const Request &req : img.requests)
+                ok = ok && (!canServe[i] || canServe[i](req));
+            if (!ok)
+                continue;
+            const Time load = live[i].backlog;
+            if (target == n || load < bestLoad) {
+                target = i;
+                bestLoad = load;
+            }
+        }
+        const auto cnt =
+            static_cast<std::uint64_t>(img.requests.size());
+        if (target == n) {
+            if (crashed[src]) {
+                // Same out-of-range sentinel the crash route uses.
+                decisions.note({now, DecisionKind::Migrate,
+                                static_cast<std::uint64_t>(src),
+                                static_cast<std::uint64_t>(n), cnt});
+                return false;
+            }
+            target = src;
+        }
+        decisions.note({now, DecisionKind::Migrate,
+                        static_cast<std::uint64_t>(src),
+                        static_cast<std::uint64_t>(target), cnt});
+        if (target != src) {
+            migratedGroups += 1;
+            migratedRequests += static_cast<std::int64_t>(cnt);
+            hintSharedTier(img.requests);
+        }
+        engines[target]->adoptCheckpoint(std::move(img));
+        dirty[target] = 1;
+        return true;
+    };
+    if (migrationOn) {
+        drainOutboxes = [&](Time now) {
+            for (std::size_t src = 0; src < n; ++src) {
+                outboxBuf.clear();
+                if (engines[src]->takeMigratedImages(outboxBuf) == 0)
+                    continue;
+                refreshViews();
+                for (CheckpointImage &img : outboxBuf) {
+                    const bool routed =
+                        routeCheckpoint(src, std::move(img), now);
+                    COSERVE_CHECK(routed,
+                                  "outbox image stranded on a crashed "
+                                  "replica");
+                }
+            }
+        };
+    }
+
     std::vector<std::int64_t> stolenFrom(n, 0), stolenTo(n, 0);
     std::vector<Request> stealBuf;
     const auto maybeSteal = [&](Time now) {
@@ -642,6 +797,26 @@ ClusterEngine::runCoordinated(const Trace &trace,
         if (!anyIdle)
             return; // common case: skip the full view refresh
         refreshViews();
+        // In-flight stealing: when an idle thief finds no queued loot,
+        // it may still pull the checkpointed tail of a *running* batch
+        // off a sibling that has more queued work stuck behind it. The
+        // pause request is issued here; the image lands in the
+        // sibling's outbox after the (charged) save and is routed by
+        // drainOutboxes to the least-loaded capable replica. The
+        // break-even guard (migrationMinRemaining) and the per-group
+        // preemption budget bound the churn.
+        const auto tryMigrateSteal = [&](std::size_t thief) {
+            if (!migrationOn)
+                return;
+            for (std::size_t j = 0; j < n; ++j) {
+                if (j == thief || crashed[j] ||
+                    live[j].queueDepth == 0 ||
+                    !engines[j]->hasMigratableGroup())
+                    continue;
+                if (engines[j]->requestMigrateOut(1) > 0)
+                    return;
+            }
+        };
         for (std::size_t thief = 0; thief < n; ++thief) {
             // A quiesced or crashed replica must not pull new work.
             if (!live[thief].idle || !active[thief])
@@ -655,8 +830,10 @@ ClusterEngine::runCoordinated(const Trace &trace,
                     victim = j;
                 }
             }
-            if (victim == n)
+            if (victim == n) {
+                tryMigrateSteal(thief);
                 continue;
+            }
             stealBuf.clear();
             const std::size_t want = live[victim].queueDepth / 2;
             std::size_t got = 0;
@@ -683,8 +860,10 @@ ClusterEngine::runCoordinated(const Trace &trace,
                 got += engines[victim]->stealRequests(
                     want - got, stealBuf, canServe[thief]);
             }
-            if (got == 0)
+            if (got == 0) {
+                tryMigrateSteal(thief);
                 continue;
+            }
             decisions.note({now, DecisionKind::Steal,
                             static_cast<std::uint64_t>(victim),
                             static_cast<std::uint64_t>(thief),
@@ -768,6 +947,15 @@ ClusterEngine::runCoordinated(const Trace &trace,
                 progress = true;
             }
         }
+        // With migration on, the drain takes the *running* batches
+        // too: each pauses at its next step boundary, checkpoints and
+        // migrates to an active sibling — quiesce no longer waits out
+        // the longest batch. (Queue heads and short tails below the
+        // break-even guard still finish in place.)
+        if (migrationOn) {
+            engines[q]->requestMigrateOut(
+                std::numeric_limits<std::size_t>::max());
+        }
         dirty[q] = 1;
     };
 
@@ -843,6 +1031,10 @@ ClusterEngine::runCoordinated(const Trace &trace,
             decisions.note({now, DecisionKind::Quiesce,
                             static_cast<std::uint64_t>(q), 0, 0});
             evacuate(q, now);
+            if (quiesceStart[q] == kTimeNever) {
+                quiesceStart[q] = now;
+                quiescing += 1;
+            }
         }
     };
 
@@ -865,6 +1057,26 @@ ClusterEngine::runCoordinated(const Trace &trace,
             crashedCount += 1;
             crashes += 1;
             live[r].acceptingWork = false;
+            // Lossless recovery of in-flight work: capture every
+            // running batch at its last *completed* step boundary
+            // (plus parked and outbox images — the periodic boundary
+            // save is what survives a crash) and migrate the
+            // checkpoints to capable survivors, which resume the
+            // groups instead of re-running them from scratch. Work
+            // since the last boundary is honestly re-executed.
+            std::int64_t lostCkpt = 0;
+            if (migrationOn) {
+                crashImgBuf.clear();
+                engines[r]->captureCheckpoints(crashImgBuf);
+                drainPreempt(r); // the capture's Checkpoint records
+                refreshViews();
+                for (CheckpointImage &img : crashImgBuf) {
+                    const auto cnt = static_cast<std::int64_t>(
+                        img.requests.size());
+                    if (!routeCheckpoint(r, std::move(img), f.time))
+                        lostCkpt += cnt;
+                }
+            }
             // Drain queued + in-flight work off the dead replica and
             // re-home it round-robin onto active capable siblings
             // (each filtered by its own capability, like evacuation).
@@ -901,6 +1113,7 @@ ClusterEngine::runCoordinated(const Trace &trace,
             rehomed += rehomedHere;
             // One request per image is in flight at a time, so every
             // lost request is exactly one lost image.
+            lostHere += lostCkpt;
             lostImages += lostHere;
             decisions.note({f.time, DecisionKind::Crash,
                             static_cast<std::uint64_t>(r),
@@ -1088,6 +1301,7 @@ ClusterEngine::runCoordinated(const Trace &trace,
             // rather than racing into one replica.
             engines[r]->stepUntil(tArr);
             dirty[r] = 1;
+            drainPreempt(r);
         } else {
             // Replica events precede the next arrival: execute the
             // earliest round everywhere, then let idle replicas steal.
@@ -1139,6 +1353,14 @@ ClusterEngine::runCoordinated(const Trace &trace,
             out.avgActiveReplicas =
                 activeIntegral / static_cast<double>(out.makespan);
         }
+    }
+    if (preemptOn) {
+        out.preemptionEnabled = true;
+        out.migratedGroups = migratedGroups;
+        out.migratedRequests = migratedRequests;
+        out.quiesceDrains = quiesceDrains;
+        out.quiesceDrainTotal = quiesceDrainTotal;
+        out.quiesceDrainMax = quiesceDrainMax;
     }
     if (opts.faults.any()) {
         out.faultsInjected = true;

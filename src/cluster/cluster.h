@@ -45,6 +45,7 @@
 #include "cluster/router.h"
 #include "core/coserve.h"
 #include "metrics/cluster_result.h"
+#include "preempt/preempt.h"
 #include "replay/fault_plan.h"
 #include "workload/trace.h"
 
@@ -158,7 +159,8 @@ enum class RunMode
 /**
  * Per-run options for ClusterEngine::run: mode selection, decision-log
  * recording / replay, and fault injection. Default-constructed options
- * reproduce the legacy run(trace) behavior exactly.
+ * run clean (no faults, no record/replay) in the mode
+ * ClusterConfig::onlineRouting selects.
  */
 struct RunOptions
 {
@@ -230,6 +232,18 @@ struct ClusterConfig
     AdmissionConfig admission;
     /** Elastic autoscaling (online mode only); see AutoscaleConfig. */
     AutoscaleConfig autoscale;
+    /**
+     * Preemptive checkpoint/restore and live migration
+     * (preempt/preempt.h). `enabled` turns on per-replica deadline
+     * rescue (any mode); `migration` additionally lets the
+     * coordinator move checkpointed in-flight groups between capable
+     * replicas — in the steal path, on autoscaler quiesce (no more
+     * waiting out the longest batch) and on crash evacuation (resume
+     * from the last step-boundary checkpoint instead of re-running) —
+     * and requires the coordinator path (online mode or a fault plan).
+     * Copied into every replica's EngineConfig; off by default.
+     */
+    PreemptionConfig preemption;
     std::vector<ReplicaSpec> replicas;
 
     /**
@@ -281,18 +295,6 @@ class ClusterEngine
      * and on the first divergence in replay mode.
      */
     ClusterResult run(const Trace &trace, const RunOptions &opts);
-
-    /** @deprecated Legacy entry point; use run(trace, RunOptions{}). */
-    [[deprecated("use run(trace, RunOptions{})")]]
-    ClusterResult run(const Trace &trace);
-
-    /** @deprecated Use run(trace, runWithMode(RunMode::Static)). */
-    [[deprecated("use run(trace, runWithMode(RunMode::Static))")]]
-    ClusterResult runStatic(const Trace &trace);
-
-    /** @deprecated Use run(trace, runWithMode(RunMode::Online)). */
-    [[deprecated("use run(trace, runWithMode(RunMode::Online))")]]
-    ClusterResult runOnline(const Trace &trace);
 
   private:
     /** Static clean path: route offline, shard, run concurrently. */

@@ -53,6 +53,10 @@ aggregateClusterResult(std::string label, std::string routing,
     for (const RunResult &r : replicas) {
         out.images += r.images;
         out.inferences += r.inferences;
+        out.preemptions += r.preemptions;
+        out.checkpointedGroups += r.checkpointedGroups;
+        out.restoredGroups += r.restoredGroups;
+        out.checkpointBytes += r.checkpointBytes;
         out.eventsExecuted += r.eventsExecuted;
         out.makespan = std::max(out.makespan, r.makespan);
         out.switches.merge(r.switches);

@@ -106,6 +106,31 @@ struct ClusterResult
     double avgActiveReplicas = 0.0;
 
     /**
+     * Preemption / checkpoint / migration accounting
+     * (ClusterConfig::preemption only; all zero and preemptionEnabled
+     * false otherwise — reports gate their section on the flag).
+     */
+    bool preemptionEnabled = false;
+    /** Deadline-rescue preemptions, summed over replicas. */
+    std::int64_t preemptions = 0;
+    /** Groups checkpointed (rescue, migrate-out or crash capture). */
+    std::int64_t checkpointedGroups = 0;
+    /** Checkpointed groups that resumed execution. */
+    std::int64_t restoredGroups = 0;
+    /** Checkpoint state bytes moved through replica channels. */
+    std::int64_t checkpointBytes = 0;
+    /** In-flight groups moved between replicas by the coordinator. */
+    std::int64_t migratedGroups = 0;
+    /** Requests inside those migrated groups. */
+    std::int64_t migratedRequests = 0;
+    /** Quiesces whose drain-to-idle completed (autoscale only). */
+    std::int64_t quiesceDrains = 0;
+    /** Total quiesce-to-idle drain time across those quiesces. */
+    Time quiesceDrainTotal = 0;
+    /** Worst single quiesce-to-idle drain. */
+    Time quiesceDrainMax = 0;
+
+    /**
      * Semantic digest over the coordinator's full decision stream
      * (routes, steals, admission verdicts, scale actions, faults —
      * see replay/decision_log.h). Equal digests mean equal schedules:

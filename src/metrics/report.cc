@@ -103,6 +103,26 @@ summarize(const ClusterResult &r)
            << formatDouble(r.avgActiveReplicas, 2)
            << " active replicas\n";
     }
+    // Gated on the preemption flag like the steal/autoscale sections:
+    // legacy (preemption-off) reports stay byte-identical.
+    if (r.preemptionEnabled) {
+        os << "  preemption: " << r.preemptions
+           << " deadline rescues, " << r.checkpointedGroups
+           << " groups checkpointed / " << r.restoredGroups
+           << " restored, " << formatBytes(r.checkpointBytes)
+           << " of state moved";
+        if (r.migratedGroups > 0) {
+            os << ", " << r.migratedGroups << " groups ("
+               << r.migratedRequests << " requests) migrated";
+        }
+        os << "\n";
+        if (r.quiesceDrains > 0) {
+            os << "  quiesce drain: " << r.quiesceDrains
+               << " completed, avg "
+               << formatTime(r.quiesceDrainTotal / r.quiesceDrains)
+               << ", max " << formatTime(r.quiesceDrainMax) << "\n";
+        }
+    }
     // Like the steal/autoscale sections: gated on fault activity, so
     // clean runs keep their pre-fault-injection output byte-identical.
     if (r.faultsInjected) {

@@ -130,6 +130,18 @@ struct RunResult
      */
     std::vector<TierStats> tiers;
 
+    // Preemption / checkpoint counters (src/preempt/); all zero — and
+    // unprinted — while PreemptionConfig is off.
+
+    /** Deadline-rescue preemptions (group paused, parked locally). */
+    std::int64_t preemptions = 0;
+    /** Groups checkpointed (preempt, migrate-out or crash capture). */
+    std::int64_t checkpointedGroups = 0;
+    /** Checkpointed groups that resumed execution here. */
+    std::int64_t restoredGroups = 0;
+    /** Checkpoint state bytes moved through the channels. */
+    std::int64_t checkpointBytes = 0;
+
     /** Per-request end-to-end latency (ms), arrival to completion. */
     Samples requestLatencyMs;
     /** Per-request pure execution latency (ms). */

@@ -78,7 +78,8 @@ unzigzag(std::uint64_t v)
 }
 
 constexpr std::uint8_t kMagic[4] = {'C', 'S', 'R', 'L'};
-constexpr std::uint8_t kVersion = 1;
+// v1: PR 6 kinds Route..BrownoutOff. v2: + Preempt..Migrate.
+constexpr std::uint8_t kVersion = 2;
 
 } // namespace
 
@@ -98,6 +99,10 @@ toString(DecisionKind kind)
     case DecisionKind::StragglerOff: return "straggler-off";
     case DecisionKind::BrownoutOn: return "brownout-on";
     case DecisionKind::BrownoutOff: return "brownout-off";
+    case DecisionKind::Preempt: return "preempt";
+    case DecisionKind::Checkpoint: return "checkpoint";
+    case DecisionKind::Restore: return "restore";
+    case DecisionKind::Migrate: return "migrate";
     }
     return "?";
 }
@@ -160,9 +165,13 @@ DecisionLog::decode(const std::vector<std::uint8_t> &bytes)
     }
     pos = 4;
     if (bytes[pos] != kVersion) {
-        fatal("unsupported decision log version ",
-              static_cast<int>(bytes[pos]), " (want ",
-              static_cast<int>(kVersion), ")");
+        // Spelled out so replay_tool surfaces an actionable error on a
+        // stale log (e.g. a PR 6-era v1 recording) instead of a generic
+        // fatal: the fix is to re-record, not to debug a divergence.
+        fatal("decision log format version ",
+              static_cast<int>(bytes[pos]), ", expected ",
+              static_cast<int>(kVersion),
+              " — re-record the log with this build");
     }
     ++pos;
 
@@ -175,7 +184,7 @@ DecisionLog::decode(const std::vector<std::uint8_t> &bytes)
         last = rec.time;
         COSERVE_CHECK(pos < bytes.size(), "decision log truncated");
         const std::uint8_t kind = bytes[pos++];
-        if (kind > static_cast<std::uint8_t>(DecisionKind::BrownoutOff))
+        if (kind > static_cast<std::uint8_t>(DecisionKind::Migrate))
             fatal("decision log record ", i, " has unknown kind ",
                   static_cast<int>(kind));
         rec.kind = static_cast<DecisionKind>(kind);

@@ -13,7 +13,9 @@
  * The log serializes to a versioned varint-encoded byte stream
  * ("CSRL" magic): record times are delta-encoded (the stream is
  * virtual-time ordered), payloads are LEB128, and a trailing digest
- * detects truncation or tampering on load. Replay mode walks a loaded
+ * detects truncation or tampering on load. Format version 2 added the
+ * preemption/checkpoint/migration kinds (Preempt..Migrate); v1 logs
+ * are rejected with an explicit version message — re-record them. Replay mode walks a loaded
  * log alongside a re-execution and hard-fails on the first divergence
  * (time + kind + payload), giving a bisectable witness for any
  * nondeterminism regression.
@@ -60,6 +62,15 @@ enum class DecisionKind : std::uint8_t
     BrownoutOn = 10,
     /** Replica `a`'s storage bandwidth restored. */
     BrownoutOff = 11,
+    // ----- log format v2: preemption / checkpoint / migration --------
+    /** Replica `a` executor `b` preempted a running group of `c`. */
+    Preempt = 12,
+    /** Replica `a` executor `b` checkpointed an in-flight group of `c`. */
+    Checkpoint = 13,
+    /** Replica `a` executor `b` restored a checkpointed group of `c`. */
+    Restore = 14,
+    /** Checkpointed in-flight group of `c` migrated from `a` to `b`. */
+    Migrate = 15,
 };
 
 /** @return display name of @p kind. */

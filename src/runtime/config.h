@@ -20,6 +20,7 @@
 #include "hw/device.h"
 #include "model/footprint_model.h"
 #include "model/latency_model.h"
+#include "preempt/preempt.h"
 #include "slo/admission.h"
 
 namespace coserve {
@@ -62,6 +63,15 @@ struct EngineConfig
      * classless traces never consult it.
      */
     AdmissionConfig admission;
+
+    /**
+     * Per-class preemption with costed checkpoint/restore
+     * (preempt/preempt.h): when enabled, an arrival whose deadline is
+     * at risk may pause a running lower-class batch at its next step
+     * boundary. Off by default — legacy runs are byte-identical. The
+     * migration knobs are cluster-level and ignored by a lone engine.
+     */
+    PreemptionConfig preemption;
 
     /** Overlap the next expert's load with the running batch (§4.2). */
     bool prefetch = true;

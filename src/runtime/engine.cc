@@ -24,7 +24,7 @@ ServingEngine::ServingEngine(EngineConfig cfg, const CoEModel &model,
                     : 0,
                 TierLevel::CpuDram),
       scheduler_(std::move(scheduler)), eviction_(std::move(eviction)),
-      admission_(cfg_.admission)
+      admission_(cfg_.admission), ckpt_(footprint)
 {
     COSERVE_CHECK(scheduler_ != nullptr, "engine needs a scheduler");
     COSERVE_CHECK(eviction_ != nullptr, "engine needs an eviction policy");
@@ -405,6 +405,14 @@ ServingEngine::scheduleArrival(const ImageArrival &a)
 void
 ServingEngine::admitTimed(Request req)
 {
+    // Deadline rescue runs before admission: pausing a lower-class
+    // batch can turn an otherwise-rejected arrival feasible, and the
+    // preempted executor's busyUntil() already reflects the freed slot
+    // when the verdict below re-predicts completion.
+    if (cfg_.preemption.enabled && req.deadline != kTimeNever &&
+        sloTracked(req.cls) && predictCompletion(req) > req.deadline) {
+        tryPreemptFor(req);
+    }
     if (cfg_.admission.enabled && req.deadline != kTimeNever) {
         const AdmissionVerdict verdict = admission_.assess(
             req.cls, req.arrival, req.deadline, predictCompletion(req));
@@ -457,6 +465,49 @@ ServingEngine::predictCompletion(const Request &req) const
         best = std::min(best, finish);
     }
     return best;
+}
+
+bool
+ServingEngine::tryPreemptFor(const Request &req)
+{
+    const int prio = priorityOf(req.cls);
+    const ArchId arch = archOf(req.expert);
+    const ComponentType &comp = model_.component(req.component);
+    std::size_t best = executors_.size();
+    Time bestFinish = kTimeNever;
+    for (std::size_t i = 0; i < executors_.size(); ++i) {
+        const Executor &exec = *executors_[i];
+        if (!exec.preemptible(prio, cfg_.preemption))
+            continue;
+        const Time pauseAt = exec.preemptPauseTime(cfg_.preemption);
+        if (pauseAt == kTimeNever)
+            continue;
+        // The slot frees after the pause boundary plus the checkpoint
+        // save; the rescued request then pays its own switch and run —
+        // mirroring predictCompletion()'s per-executor estimate.
+        const Time avail =
+            pauseAt + predictCheckpointTransfer(
+                          exec, checkpointStateBytes(exec));
+        const LatencyParams &p = truth_.params(arch, exec.kind());
+        Time add = p.perImage + p.fixed + predictLoadTime(i, req.expert);
+        if (req.stage == Stage::Classify && comp.detector != kNoExpert) {
+            const LatencyParams &d =
+                truth_.params(archOf(comp.detector), exec.kind());
+            add += d.perImage + d.fixed;
+        }
+        const Time finish = avail + add;
+        if (finish < bestFinish) {
+            bestFinish = finish;
+            best = i;
+        }
+    }
+    // Preempt only when the rescue actually lands the deadline — a
+    // pause that still misses would charge checkpoint churn for
+    // nothing and burn the victim's hysteresis budget.
+    if (best == executors_.size() || bestFinish > req.deadline)
+        return false;
+    return executors_[best]->requestPreempt(cfg_.preemption,
+                                            /*migrateOut=*/false);
 }
 
 void
@@ -639,7 +690,10 @@ ServingEngine::fillLoadView(ReplicaLoadView &out) const
     out.queuedExperts.clear();
     for (const auto &exec : executors_) {
         out.queueDepth += exec->queue().size();
-        out.backlog += exec->queue().pendingWork();
+        // Parked checkpoints are real backlog too: their remaining
+        // execution runs here unless migrated away. Zero while the
+        // preemption feature is off, keeping legacy views identical.
+        out.backlog += exec->queue().pendingWork() + exec->parkedWork();
         out.executors.push_back(
             {exec->busyUntil(), exec->queue().pendingWork()});
         exec->queue().appendQueuedExperts(out.queuedExperts);
@@ -728,8 +782,18 @@ ServingEngine::crashDrain(std::vector<Request> &out)
     std::size_t drained = 0;
     for (const auto &exec : executors_) {
         drained += exec->surrenderRunning(out);
+        drained += exec->surrenderParked(out);
         drained += exec->drainQueue(out);
     }
+    // Un-migrated outbox images die with the replica too: flatten
+    // their requests for queue-level re-homing. (With migration on,
+    // the coordinator captures checkpoints *before* crashDrain, so
+    // these loops see nothing in-flight or parked.)
+    for (CheckpointImage &img : migrateOutbox_) {
+        drained += img.requests.size();
+        out.insert(out.end(), img.requests.begin(), img.requests.end());
+    }
+    migrateOutbox_.clear();
     // Drop everything still scheduled — batch completions (their
     // requests were just surrendered), in-flight expert loads, pending
     // prefetches. The clock survives, so finishOnline() reports the
@@ -758,7 +822,194 @@ ServingEngine::finishOnline()
     COSERVE_CHECK(online_, "finishOnline without beginOnline");
     COSERVE_CHECK(eq_.pending() == 0, "finishOnline with ",
                   eq_.pending(), " events pending");
+    COSERVE_CHECK(migrateOutbox_.empty(), "finishOnline with ",
+                  migrateOutbox_.size(),
+                  " checkpoints stranded in the migration outbox");
+    for (const auto &exec : executors_) {
+        COSERVE_CHECK(exec->parkedCount() == 0, "finishOnline with ",
+                      exec->parkedCount(), " parked checkpoints on ",
+                      exec->name());
+    }
     return collectResult();
+}
+
+// ----------------------- preemption / checkpoint / live migration API
+
+std::int64_t
+ServingEngine::checkpointStateBytes(const Executor &exec) const
+{
+    COSERVE_CHECK(exec.runningExpert() != kNoExpert,
+                  "checkpoint bytes of an idle executor");
+    return ckpt_.stateBytes(archOf(exec.runningExpert()), exec.kind(),
+                            exec.runningCount());
+}
+
+Time
+ServingEngine::predictCheckpointTransfer(const Executor &exec,
+                                         std::int64_t bytes) const
+{
+    if (cpuTier_->enabled()) {
+        if (exec.kind() == ProcKind::GPU)
+            return link_->transferDuration(bytes);
+        // CPU executor state already lives in DRAM: adopting it into
+        // the checkpoint tier is a fixed-latency bookkeeping copy.
+        return cfg_.device.linkFixedLatency;
+    }
+    // No DRAM tier configured: checkpoints stream to disk — the cold
+    // tier honestly makes save and restore slower.
+    return storage_->transferDuration(bytes);
+}
+
+Time
+ServingEngine::chargeCheckpointTransfer(const Executor &exec,
+                                        std::int64_t bytes,
+                                        EventQueue::Callback done)
+{
+    result_.checkpointBytes += bytes;
+    if (cpuTier_->enabled()) {
+        if (exec.kind() == ProcKind::GPU)
+            return link_->transfer(bytes, std::move(done));
+        return eq_
+            .scheduleAfter(cfg_.device.linkFixedLatency, std::move(done))
+            .when;
+    }
+    return storage_->transfer(bytes, std::move(done));
+}
+
+void
+ServingEngine::onGroupCheckpointed(Executor &exec, CheckpointImage img,
+                                   bool migrateOut)
+{
+    result_.checkpointedGroups += 1;
+    if (online_) {
+        preemptEvents_.push_back(
+            {eq_.now(),
+             migrateOut ? PreemptEvent::What::Checkpoint
+                        : PreemptEvent::What::Preempt,
+             exec.index(),
+             static_cast<std::uint64_t>(img.requests.size())});
+    }
+    if (migrateOut) {
+        migrateOutbox_.push_back(std::move(img));
+        return;
+    }
+    result_.preemptions += 1;
+    exec.adoptCheckpoint(std::move(img));
+}
+
+void
+ServingEngine::onGroupRestored(Executor &exec, int requests)
+{
+    result_.restoredGroups += 1;
+    if (online_) {
+        preemptEvents_.push_back({eq_.now(), PreemptEvent::What::Restore,
+                                  exec.index(),
+                                  static_cast<std::uint64_t>(requests)});
+    }
+}
+
+std::size_t
+ServingEngine::captureCheckpoints(std::vector<CheckpointImage> &out)
+{
+    std::size_t captured = 0;
+    for (const auto &exec : executors_) {
+        const std::size_t mark = out.size();
+        if (exec->checkpointRunning(out) > 0) {
+            result_.checkpointedGroups += 1;
+            if (online_) {
+                preemptEvents_.push_back(
+                    {eq_.now(), PreemptEvent::What::Checkpoint,
+                     exec->index(),
+                     static_cast<std::uint64_t>(
+                         out[mark].requests.size())});
+            }
+            captured += 1;
+        }
+        captured += exec->takeParked(out);
+    }
+    // Outbox images were checkpointed (and recorded) when their saves
+    // completed — they just never got picked up.
+    captured += takeMigratedImages(out);
+    return captured;
+}
+
+std::size_t
+ServingEngine::requestMigrateOut(std::size_t maxGroups)
+{
+    std::size_t issued = 0;
+    for (const auto &exec : executors_) {
+        if (issued >= maxGroups)
+            break;
+        if (!exec->migratable(cfg_.preemption))
+            continue;
+        if (exec->requestPreempt(cfg_.preemption, /*migrateOut=*/true))
+            issued += 1;
+    }
+    return issued;
+}
+
+std::size_t
+ServingEngine::takeMigratedImages(std::vector<CheckpointImage> &out)
+{
+    const std::size_t n = migrateOutbox_.size();
+    for (CheckpointImage &img : migrateOutbox_)
+        out.push_back(std::move(img));
+    migrateOutbox_.clear();
+    return n;
+}
+
+void
+ServingEngine::adoptCheckpoint(CheckpointImage img)
+{
+    COSERVE_CHECK(!crashed_,
+                  "adopting a checkpoint on a crashed replica");
+    Executor *best = nullptr;
+    Time bestLoad = 0;
+    for (const auto &exec : executors_) {
+        if (exec->kind() != img.kind)
+            continue;
+        const Time load = std::max(eq_.now(), exec->busyUntil()) +
+                          exec->queue().pendingWork() +
+                          exec->parkedWork();
+        if (best == nullptr || load < bestLoad) {
+            best = exec.get();
+            bestLoad = load;
+        }
+    }
+    COSERVE_CHECK(best != nullptr,
+                  "no executor matches the checkpoint's processor "
+                  "kind; the coordinator must capability-filter "
+                  "migration targets");
+    best->adoptCheckpoint(std::move(img));
+}
+
+bool
+ServingEngine::hasMigratableGroup() const
+{
+    if (!cfg_.preemption.enabled || !cfg_.preemption.migration)
+        return false;
+    for (const auto &exec : executors_) {
+        if (exec->migratable(cfg_.preemption))
+            return true;
+    }
+    return false;
+}
+
+bool
+ServingEngine::hasExecutorKind(ProcKind kind) const
+{
+    for (const auto &exec : executors_) {
+        if (exec->kind() == kind)
+            return true;
+    }
+    return false;
+}
+
+void
+ServingEngine::drainPreemptEvents(std::vector<PreemptEvent> &out)
+{
+    out.insert(out.end(), preemptEvents_.begin(), preemptEvents_.end());
+    preemptEvents_.clear();
 }
 
 } // namespace coserve

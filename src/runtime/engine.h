@@ -20,6 +20,8 @@
 #include "metrics/run_result.h"
 #include "model/footprint_model.h"
 #include "model/latency_model.h"
+#include "preempt/checkpoint_model.h"
+#include "preempt/preempt.h"
 #include "runtime/executor.h"
 #include "runtime/memory_tier.h"
 #include "runtime/policies.h"
@@ -238,6 +240,86 @@ class ServingEngine
      */
     void setStorageRateScale(double scale);
 
+    // ----- preemption / checkpoint / live migration ------------------
+    //
+    // See preempt/preempt.h for the policy and the CheckpointImage
+    // contract. Engine-local deadline-rescue preemption triggers from
+    // admitTimed(); the cluster coordinator drives migration through
+    // requestMigrateOut / takeMigratedImages / adoptCheckpoint /
+    // captureCheckpoints and drains the engine's PreemptEvents into
+    // its decision log after every step.
+
+    /**
+     * Checkpoint state bytes of @p exec's running batch
+     * (CheckpointModel: per-image activations + descriptor).
+     */
+    std::int64_t checkpointStateBytes(const Executor &exec) const;
+
+    /**
+     * Estimated (uncontended) duration of moving @p bytes of
+     * checkpoint state for @p exec: over the link channel into the
+     * DRAM tier when one exists, else over the storage channel to disk
+     * — a cold tier is honestly slower.
+     */
+    Time predictCheckpointTransfer(const Executor &exec,
+                                   std::int64_t bytes) const;
+
+    /**
+     * Charge a checkpoint save/restore stream of @p bytes for @p exec
+     * through the real channels (FIFO contention with expert loads
+     * included); @p done runs at completion.
+     *
+     * @return the completion time.
+     */
+    Time chargeCheckpointTransfer(const Executor &exec,
+                                  std::int64_t bytes,
+                                  EventQueue::Callback done);
+
+    /** Executor callback: a group finished its checkpoint save. */
+    void onGroupCheckpointed(Executor &exec, CheckpointImage img,
+                             bool migrateOut);
+
+    /** Executor callback: a checkpointed group resumed execution. */
+    void onGroupRestored(Executor &exec, int requests);
+
+    /**
+     * Crash/quiesce capture: every in-flight batch (at its last step
+     * boundary), parked image and outbox image moves into @p out — no
+     * transfer charged; the restoring side pays. Executor order, so
+     * deterministic.
+     */
+    std::size_t captureCheckpoints(std::vector<CheckpointImage> &out);
+
+    /**
+     * Ask up to @p maxGroups migratable running batches to pause at
+     * their next step boundary and checkpoint into the migration
+     * outbox (charged saves). Images appear in takeMigratedImages()
+     * once their save transfers complete.
+     *
+     * @return number of pause requests issued.
+     */
+    std::size_t requestMigrateOut(std::size_t maxGroups);
+
+    /** Drain the migration outbox into @p out. */
+    std::size_t takeMigratedImages(std::vector<CheckpointImage> &out);
+
+    /**
+     * Restore side of migration: adopt @p img onto the least-loaded
+     * executor of the matching processor kind. The restore transfer
+     * (and a demand load when the expert is not resident here) is
+     * charged when that executor picks the image up.
+     */
+    void adoptCheckpoint(CheckpointImage img);
+
+    /** @return true when any executor could migrate its batch now. */
+    bool hasMigratableGroup() const;
+
+    /** @return true when an executor of @p kind exists. */
+    bool hasExecutorKind(ProcKind kind) const;
+
+    /** Move buffered preemption decision events into @p out. */
+    void drainPreemptEvents(std::vector<PreemptEvent> &out);
+
     // ----- API for Scheduler implementations -------------------------
 
     /** @return number of executors. */
@@ -353,6 +435,15 @@ class ServingEngine
      * virtual time, so the feasibility estimate sees live queue state.
      */
     void admitTimed(Request req);
+    /**
+     * Deadline rescue: scan for a preemptible lower-class batch whose
+     * freed slot would let @p req meet its deadline (pause boundary +
+     * checkpoint save + possible expert switch + execution <= deadline)
+     * and pause the best candidate.
+     *
+     * @return true when a preemption was issued.
+     */
+    bool tryPreemptFor(const Request &req);
     void dispatchTimed(const Request &req);
     ArchId archOf(ExpertId e) const;
     /** Fastest available source for loading @p e into GPU memory. */
@@ -388,6 +479,11 @@ class ServingEngine
     std::unique_ptr<Scheduler> scheduler_;
     std::unique_ptr<EvictionPolicy> eviction_;
     AdmissionController admission_;
+    CheckpointModel ckpt_;
+    /** Checkpointed groups awaiting cluster-level migration pickup. */
+    std::vector<CheckpointImage> migrateOutbox_;
+    /** Buffered preemption decisions (online runs only; see preempt.h). */
+    std::vector<PreemptEvent> preemptEvents_;
 
     double gpuPressure_ = 1.0;
     /** Straggler fault multiplier on batch latencies (1.0 = nominal). */

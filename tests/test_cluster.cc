@@ -194,33 +194,6 @@ TEST_F(ClusterFixture, ParallelAndSequentialRunsAgree)
               static_cast<std::int64_t>(trace_.size()));
 }
 
-TEST_F(ClusterFixture, DeprecatedEntryPointsForwardToRun)
-{
-    // The legacy methods are one-line forwarders; they must produce
-    // exactly what the RunOptions spellings produce.
-    ClusterConfig modern = homogeneousCluster(
-        ctx_, cfg_, 2, RoutingPolicy::LeastLoaded);
-    ClusterEngine a(std::move(modern));
-    const ClusterResult want =
-        a.run(trace_, runWithMode(RunMode::Static));
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    ClusterEngine b(
-        homogeneousCluster(ctx_, cfg_, 2, RoutingPolicy::LeastLoaded));
-    const ClusterResult viaLegacyRun = b.run(trace_);
-    ClusterEngine c(
-        homogeneousCluster(ctx_, cfg_, 2, RoutingPolicy::LeastLoaded));
-    const ClusterResult viaRunStatic = c.runStatic(trace_);
-#pragma GCC diagnostic pop
-
-    for (const ClusterResult *r : {&viaLegacyRun, &viaRunStatic}) {
-        EXPECT_EQ(r->images, want.images);
-        EXPECT_EQ(r->makespan, want.makespan);
-        EXPECT_EQ(r->decisionDigest, want.decisionDigest);
-    }
-}
-
 TEST(ClusterResultTest, AggregationMath)
 {
     RunResult a;
