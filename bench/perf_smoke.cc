@@ -33,8 +33,9 @@
 
 #include "bench/bench_util.h"
 
-#include <chrono>
 #include <cstdint>
+
+#include "util/walltime.h"
 
 #include "cluster/cluster.h"
 #include "metrics/cluster_result.h"
@@ -44,14 +45,6 @@
 using namespace coserve;
 
 namespace {
-
-double
-wallSecondsSince(std::chrono::steady_clock::time_point t0)
-{
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         t0)
-        .count();
-}
 
 /**
  * Self-rescheduling event storm: keeps ~1k events in flight, each
@@ -114,9 +107,9 @@ main(int argc, char **argv)
     // ---------------------------------------------------- queue_micro
     {
         QueueMicro micro;
-        const auto t0 = std::chrono::steady_clock::now();
+        const WallTimer timer;
         const std::uint64_t events = micro.run(4'000'000);
-        const double wall = wallSecondsSince(t0);
+        const double wall = timer.elapsedSeconds();
         const double eps = static_cast<double>(events) / wall;
         json.scenario("queue_micro");
         json.field("events", static_cast<double>(events));
@@ -149,9 +142,9 @@ main(int argc, char **argv)
         std::int64_t images = 0;
         for (int i = 0; i < kIters; ++i) {
             auto engine = makeCoServeEngine(h.context(), cfg);
-            const auto t0 = std::chrono::steady_clock::now();
+            const WallTimer timer;
             const RunResult r = engine->run(trace);
-            wall += wallSecondsSince(t0);
+            wall += timer.elapsedSeconds();
             events += r.eventsExecuted;
             // Iterations replay the identical simulation; any drift in
             // the *simulated* metrics is a determinism bug, not noise.

@@ -8,6 +8,7 @@ LruEviction::selectVictim(const MemoryTier &pool,
 {
     std::optional<ExpertId> victim;
     Time oldest = kTimeNever;
+    // detlint:allow(unordered-iter) full-order selection (lastUse, then id) is independent of visit order
     for (const auto &[id, entry] : pool.entries()) {
         if (!evictable(entry, ctx))
             continue;
@@ -27,6 +28,7 @@ LfuEviction::selectVictim(const MemoryTier &pool,
     std::optional<ExpertId> victim;
     std::int64_t fewest = INT64_MAX;
     Time oldest = kTimeNever;
+    // detlint:allow(unordered-iter) full-order selection (uses, lastUse, then id) is independent of visit order
     for (const auto &[id, entry] : pool.entries()) {
         if (!evictable(entry, ctx))
             continue;
@@ -49,6 +51,7 @@ FifoEviction::selectVictim(const MemoryTier &pool,
 {
     std::optional<ExpertId> victim;
     std::uint64_t oldestSeq = UINT64_MAX;
+    // detlint:allow(unordered-iter) loadSeq is a unique monotonic counter, so the minimum never ties
     for (const auto &[id, entry] : pool.entries()) {
         if (!evictable(entry, ctx))
             continue;

@@ -1,7 +1,6 @@
 #include "cluster/cluster.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <functional>
 #include <limits>
@@ -11,6 +10,7 @@
 #include "replay/decision_log.h"
 #include "slo/admission.h"
 #include "util/logging.h"
+#include "util/walltime.h"
 
 namespace coserve {
 
@@ -445,7 +445,7 @@ ClusterEngine::runSharded(const Trace &trace, DecisionTrace &decisions)
     };
 
     std::vector<RunResult> results(cfg_.replicas.size());
-    const auto wallStart = std::chrono::steady_clock::now();
+    const WallTimer wall;
     if (cfg_.parallel) {
         std::vector<std::thread> threads;
         threads.reserve(cfg_.replicas.size());
@@ -457,12 +457,9 @@ ClusterEngine::runSharded(const Trace &trace, DecisionTrace &decisions)
         for (std::size_t i = 0; i < cfg_.replicas.size(); ++i)
             runReplica(i, results[i]);
     }
-    const auto wallEnd = std::chrono::steady_clock::now();
-
     ClusterResult out = aggregateClusterResult(
         cfg_.label, toString(cfg_.routing), std::move(results));
-    out.wallSeconds =
-        std::chrono::duration<double>(wallEnd - wallStart).count();
+    out.wallSeconds = wall.elapsedSeconds();
     out.preemptionEnabled = cfg_.preemption.enabled;
     appendSharedTierStats(out, sharedCpu.get());
     return out;
@@ -496,7 +493,7 @@ ClusterEngine::runCoordinated(const Trace &trace,
     // Engine construction and preload count toward wallSeconds, as
     // they do inside static mode's per-replica threads — otherwise
     // the modes' host-time comparison is skewed.
-    const auto wallStart = std::chrono::steady_clock::now();
+    const WallTimer wall;
 
     // Build all replica engines up front; the coordinator steps them
     // in lockstep, so — unlike static sharding — they never run on
@@ -1310,7 +1307,6 @@ ClusterEngine::runCoordinated(const Trace &trace,
                 maybeSteal(tEv);
         }
     }
-    const auto wallEnd = std::chrono::steady_clock::now();
 
     std::vector<RunResult> results(n);
     std::int64_t images = 0;
@@ -1331,8 +1327,7 @@ ClusterEngine::runCoordinated(const Trace &trace,
 
     ClusterResult out = aggregateClusterResult(
         cfg_.label, toString(cfg_.routing), std::move(results));
-    out.wallSeconds =
-        std::chrono::duration<double>(wallEnd - wallStart).count();
+    out.wallSeconds = wall.elapsedSeconds();
     out.stolenFromReplica = std::move(stolenFrom);
     out.stolenToReplica = std::move(stolenTo);
     for (std::int64_t s : out.stolenFromReplica)

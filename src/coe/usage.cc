@@ -76,6 +76,7 @@ UsageProfile::UsageProfile(std::vector<double> probabilities)
     }
     COSERVE_CHECK(std::abs(sum - 1.0) < 1e-6,
                   "usage probabilities sum to ", sum);
+    buildDerived();
 }
 
 double
@@ -89,31 +90,26 @@ UsageProfile::probability(ExpertId e) const
 const std::vector<ExpertId> &
 UsageProfile::byDescendingUsage() const
 {
-    buildDerived();
     return order_;
 }
 
 const std::vector<double> &
 UsageProfile::cdf() const
 {
-    buildDerived();
     return cdf_;
 }
 
 double
 UsageProfile::topKMass(std::size_t k) const
 {
-    buildDerived();
     if (k == 0)
         return 0.0;
     return cdf_[std::min(k, cdf_.size()) - 1];
 }
 
 void
-UsageProfile::buildDerived() const
+UsageProfile::buildDerived()
 {
-    if (!order_.empty())
-        return;
     order_.resize(prob_.size());
     std::iota(order_.begin(), order_.end(), 0);
     std::stable_sort(order_.begin(), order_.end(),

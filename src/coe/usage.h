@@ -63,11 +63,18 @@ class UsageProfile
     double topKMass(std::size_t k) const;
 
   private:
-    void buildDerived() const;
+    /**
+     * Compute order_/cdf_ from prob_. Called once, at construction:
+     * the derived orderings used to be built lazily in the const
+     * accessors, which is a data race once a profile is shared by
+     * parallel replica threads (caught by the TSan CI lane). Eager
+     * construction makes every accessor a plain read.
+     */
+    void buildDerived();
 
     std::vector<double> prob_;
-    mutable std::vector<ExpertId> order_;
-    mutable std::vector<double> cdf_;
+    std::vector<ExpertId> order_;
+    std::vector<double> cdf_;
 };
 
 } // namespace coserve

@@ -1,11 +1,11 @@
 #include "runtime/engine.h"
 
 #include <algorithm>
-#include <chrono>
 #include <numeric>
 
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/walltime.h"
 
 namespace coserve {
 
@@ -521,11 +521,9 @@ ServingEngine::dispatchTimed(const Request &req)
         scheduler_->dispatch(*this, req);
         return;
     }
-    const auto t0 = std::chrono::steady_clock::now();
+    const WallTimer timer;
     scheduler_->dispatch(*this, req);
-    const auto t1 = std::chrono::steady_clock::now();
-    result_.schedulingWallUs.add(
-        std::chrono::duration<double, std::micro>(t1 - t0).count());
+    result_.schedulingWallUs.add(timer.elapsedMicros());
 }
 
 void
@@ -706,6 +704,7 @@ ServingEngine::fillLoadView(ReplicaLoadView &out) const
     for (const ModelPool *pool : {gpuPool_.get(), cpuPool_.get()}) {
         if (pool == nullptr)
             continue;
+        // detlint:allow(unordered-iter) snapshot is sorted below before anything order-sensitive reads it
         for (const auto &[id, entry] : pool->entries()) {
             if (!entry.loading)
                 out.residentExperts.push_back(id);

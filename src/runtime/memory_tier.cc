@@ -223,13 +223,19 @@ MemoryTier::makeRoom(std::int64_t need, Time now)
             if (v)
                 victim = *v;
         } else {
-            // Built-in LRU: first strict-minimum lastUse in iteration
-            // order among unpinned, settled entries.
+            // Built-in LRU: minimum lastUse among unpinned, settled
+            // entries, lastUse ties broken by smallest id. The former
+            // "first minimum in iteration order" picked different
+            // victims under libstdc++ vs libc++ bucket orders — a
+            // cross-stdlib digest divergence waiting for a tie.
             Time oldest = kTimeNever;
+            // detlint:allow(unordered-iter) full-order victim selection (lastUse, then id) is independent of visit order
             for (const auto &[id, entry] : entries_) {
                 if (entry.pins > 0 || entry.loading)
                     continue;
-                if (entry.lastUse < oldest) {
+                if (entry.lastUse < oldest ||
+                    (entry.lastUse == oldest &&
+                     (victim == kNoExpert || id < victim))) {
                     victim = id;
                     oldest = entry.lastUse;
                 }
@@ -287,8 +293,7 @@ DiskTier::stats() const
 // --------------------------------------------------------- SharedCpuTier
 
 SharedCpuTier::SharedCpuTier(std::int64_t capacityBytes)
-    : tier_("cpu.shared", capacityBytes, TierLevel::CpuDram),
-      disk_("disk")
+    : tier_(name_, capacityBytes, TierLevel::CpuDram), disk_("disk")
 {
     COSERVE_CHECK(capacityBytes > 0, "shared CPU tier needs capacity");
     tier_.linkBelow(&disk_);
@@ -297,13 +302,17 @@ SharedCpuTier::SharedCpuTier(std::int64_t capacityBytes)
 bool
 SharedCpuTier::enabled() const
 {
+    // Capacity is immutable after construction, but taking the lock
+    // keeps the thread-safety analysis airtight (no annotated-away
+    // access path) and the call is far off any hot path.
+    MutexLock lock(mutex_);
     return tier_.enabled();
 }
 
 bool
 SharedCpuTier::holds(ExpertId e) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return tier_.holds(e);
 }
 
@@ -311,7 +320,7 @@ bool
 SharedCpuTier::admit(ExpertId e, std::int64_t bytes, Time now)
 {
     (void)now; // replica sim clocks are incomparable; use the tick
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return tier_.admit(e, bytes, ++tick_);
 }
 
@@ -321,7 +330,7 @@ SharedCpuTier::warm(ExpertId e, std::int64_t bytes)
     // Delegates to the tier's own warm: preloaded entries carry the
     // oldest possible recency (0) here exactly as in a private tier,
     // so shared-vs-private comparisons start from the same priority.
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return tier_.warm(e, bytes);
 }
 
@@ -329,7 +338,7 @@ void
 SharedCpuTier::refresh(ExpertId e, Time now)
 {
     (void)now;
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     tier_.refresh(e, ++tick_);
 }
 
@@ -337,7 +346,7 @@ bool
 SharedCpuTier::lookupAndTouch(ExpertId e, Time now)
 {
     (void)now; // replica sim clocks are incomparable; use the tick
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (!tier_.holds(e))
         return false;
     tier_.noteHit();
@@ -348,21 +357,21 @@ SharedCpuTier::lookupAndTouch(ExpertId e, Time now)
 void
 SharedCpuTier::noteHit()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     tier_.noteHit();
 }
 
 void
 SharedCpuTier::noteMiss()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     tier_.noteMiss();
 }
 
 TierStats
 SharedCpuTier::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     TierStats s = tier_.stats();
     s.shared = true;
     return s;
@@ -371,14 +380,14 @@ SharedCpuTier::stats() const
 TierStats
 SharedCpuTier::diskStats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return disk_.stats();
 }
 
 std::size_t
 SharedCpuTier::hintUpcomingLoads(const std::vector<ExpertId> &experts)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     std::size_t protectedCount = 0;
     for (ExpertId e : experts) {
         if (!tier_.holds(e))
@@ -393,7 +402,7 @@ SharedCpuTier::hintUpcomingLoads(const std::vector<ExpertId> &experts)
 std::int64_t
 SharedCpuTier::stealHintsProtected() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return stealHintsProtected_;
 }
 

@@ -32,12 +32,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "metrics/run_result.h"
 #include "model/expert.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/time.h"
 
 namespace coserve {
@@ -242,7 +243,15 @@ class MemoryTier : public TierBelow
     /** @return entry for @p e; panics when absent. */
     const TierEntry &entry(ExpertId e) const;
 
-    /** @return all entries (iteration order unspecified). */
+    /**
+     * @return all entries (iteration order unspecified — it differs
+     *         across standard libraries). Callers that derive
+     *         anything order-sensitive (victim choice, snapshots)
+     *         must either sort or select with a full-order tie-break
+     *         (see baselines/evictions.cc); detlint's unordered-iter
+     *         rule flags every iteration site so each carries an
+     *         audited justification.
+     */
     const std::unordered_map<ExpertId, TierEntry> &entries() const
     {
         return entries_;
@@ -302,7 +311,9 @@ class MemoryTier : public TierBelow
 
     /**
      * Self-evict until @p need more bytes fit, via the installed policy
-     * or the built-in LRU scan (skipping pinned / loading entries).
+     * or the built-in LRU scan (skipping pinned / loading entries;
+     * lastUse ties broken by smallest ExpertId so the victim never
+     * depends on hash-map iteration order).
      * @return false when no evictable victim remains.
      */
     bool makeRoom(std::int64_t need, Time now);
@@ -364,6 +375,11 @@ class DiskTier : public TierBelow
  * With threaded replicas the interleaving of insertions follows host
  * scheduling, so shared-tier runs are only reproducible with
  * sequential replica execution (ClusterConfig::parallel = false).
+ *
+ * Every member behind mutex_ is CS_GUARDED_BY-annotated: clang's
+ * `-Wthread-safety -Werror` CI lane proves at compile time that no
+ * access path — current or future — touches the shared tier without
+ * holding the lock.
  */
 class SharedCpuTier : public TierBelow
 {
@@ -371,7 +387,7 @@ class SharedCpuTier : public TierBelow
     /** @param capacityBytes shared tier capacity (> 0). */
     explicit SharedCpuTier(std::int64_t capacityBytes);
 
-    const std::string &name() const override { return tier_.name(); }
+    const std::string &name() const override { return name_; }
     TierLevel level() const override { return TierLevel::CpuDram; }
     bool enabled() const override;
     bool holds(ExpertId e) const override;
@@ -409,13 +425,15 @@ class SharedCpuTier : public TierBelow
     std::int64_t stealHintsProtected() const;
 
   private:
-    mutable std::mutex mutex_;
-    MemoryTier tier_;
-    DiskTier disk_;
+    /** Tier name, immutable after construction (lock-free reads). */
+    const std::string name_{"cpu.shared"};
+    mutable Mutex mutex_;
+    MemoryTier tier_ CS_GUARDED_BY(mutex_);
+    DiskTier disk_ CS_GUARDED_BY(mutex_);
     /** Cross-replica recency clock (see class comment). */
-    Time tick_ = 0;
+    Time tick_ CS_GUARDED_BY(mutex_) = 0;
     /** Cumulative hintUpcomingLoads protections. */
-    std::int64_t stealHintsProtected_ = 0;
+    std::int64_t stealHintsProtected_ CS_GUARDED_BY(mutex_) = 0;
 };
 
 } // namespace coserve

@@ -20,6 +20,13 @@
  * and the steady path performs no per-request allocation (the previous
  * std::list + std::unordered_map design paid a node allocation per
  * request and a hash walk per probe).
+ *
+ * Determinism audit: no hash container survives here — the PR 2
+ * rewrite also removed the only iteration-order hazard this file ever
+ * had (the old per-expert unordered_map group index). The flat
+ * vector-indexed group table visits experts in dense-id order by
+ * construction, so detlint's unordered-iter rule has nothing to flag
+ * and no allow comment is needed.
  */
 
 #ifndef COSERVE_RUNTIME_QUEUE_H

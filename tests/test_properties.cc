@@ -94,14 +94,14 @@ INSTANTIATE_TEST_SUITE_P(
                           SystemKind::CoServeEMRA,
                           SystemKind::CoServeCasual),
         ::testing::Values(1u, 2u, 3u, 4u)),
-    [](const ::testing::TestParamInfo<EngineParam> &info) {
-        std::string name = toString(std::get<0>(info.param));
+    [](const ::testing::TestParamInfo<EngineParam> &paramInfo) {
+        std::string name = toString(std::get<0>(paramInfo.param));
         for (char &c : name) {
             if (!std::isalnum(static_cast<unsigned char>(c)))
                 c = '_';
         }
         return name + "_seed" +
-               std::to_string(std::get<1>(info.param));
+               std::to_string(std::get<1>(paramInfo.param));
     });
 
 // ---------------------------------------------------------------------
@@ -164,13 +164,13 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(16, 48, 96),
                        ::testing::Values(0.5, 0.9, 1.3),
                        ::testing::Values(0.90, 0.985)),
-    [](const ::testing::TestParamInfo<BoardParam> &info) {
-        return "n" + std::to_string(std::get<0>(info.param)) + "_s" +
+    [](const ::testing::TestParamInfo<BoardParam> &paramInfo) {
+        return "n" + std::to_string(std::get<0>(paramInfo.param)) + "_s" +
                std::to_string(
-                   static_cast<int>(std::get<1>(info.param) * 10)) +
+                   static_cast<int>(std::get<1>(paramInfo.param) * 10)) +
                "_m" +
                std::to_string(
-                   static_cast<int>(std::get<2>(info.param) * 1000));
+                   static_cast<int>(std::get<2>(paramInfo.param) * 1000));
     });
 
 // ---------------------------------------------------------------------

@@ -7,7 +7,7 @@ noisy for a hard perf gate, but a >25% drop on every scenario is worth
 a look. Emits GitHub Actions ``::warning::`` annotations so the drop is
 visible on the workflow run without breaking the build.
 
-Two additional gates:
+Three additional gates:
 
 - ``--require NAME`` (repeatable, warn-only) insists that a scenario is
   present in both files — e.g. ``--require cluster_4x`` keeps the
@@ -19,9 +19,19 @@ Two additional gates:
   perf change is a determinism bug, not noise. A commit that
   intentionally changes the simulation must refresh
   bench/BENCH_baseline.json in the same change.
+- ``--detlint FILE`` points at detlint's JSON findings artifact
+  (``detlint --json``). Any violation there — including unjustified or
+  stale allow comments — **fails** (exit 1): a baseline refresh that
+  launders a nondeterministic change past the digest gate must first
+  get past the determinism linter.
+
+``--update-baseline`` rewrites BASELINE from CURRENT (the sanctioned
+way to refresh after an intentional simulation change). It refuses to
+write when the ``--detlint`` artifact reports violations, so a change
+that breaks the determinism rules cannot also bless its own digests.
 
 Usage: compare_bench.py BASELINE CURRENT [--threshold 0.25]
-       [--require SCENARIO]...
+       [--require SCENARIO]... [--detlint FILE] [--update-baseline]
 """
 
 import argparse
@@ -46,6 +56,17 @@ def main() -> int:
         metavar="SCENARIO",
         help="scenario that must be present in both files (repeatable)",
     )
+    parser.add_argument(
+        "--detlint",
+        metavar="FILE",
+        help="detlint JSON findings artifact; any violation fails",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite BASELINE from CURRENT (refused when the detlint "
+        "artifact shows violations)",
+    )
     args = parser.parse_args()
 
     with open(args.baseline) as f:
@@ -55,6 +76,33 @@ def main() -> int:
 
     warnings = 0
     determinism_failures = 0
+
+    detlint_violations = []
+    if args.detlint:
+        with open(args.detlint) as f:
+            findings = json.load(f)
+        detlint_violations = findings.get("violations", [])
+        for v in detlint_violations:
+            print(f"::error::detlint [{v.get('rule')}] "
+                  f"{v.get('file')}:{v.get('line')}: {v.get('message')}")
+            determinism_failures += 1
+        allows = findings.get("allows", [])
+        print(f"detlint artifact: {len(detlint_violations)} "
+              f"violation(s), {len(allows)} justified allow(s) over "
+              f"{findings.get('files_scanned', '?')} files")
+
+    if args.update_baseline:
+        if detlint_violations:
+            print("::error::refusing to update "
+                  f"{args.baseline}: the detlint artifact reports "
+                  f"{len(detlint_violations)} unjustified violation(s) "
+                  f"— fix or justify them first")
+            return 1
+        with open(args.baseline, "w") as f:
+            json.dump(current, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"baseline {args.baseline} refreshed from {args.current}")
+        return 0
     for scenario in args.require:
         # Required-but-absent-from-current is already warned by the
         # per-scenario loop below whenever the baseline can compare it

@@ -1,0 +1,692 @@
+#include "detlint/detlint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+
+namespace detlint {
+
+namespace {
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) ==
+               0;
+}
+
+/** Find identifier token @p tok (boundary-checked) from @p from. */
+std::size_t
+findToken(const std::string &line, const std::string &tok,
+          std::size_t from = 0)
+{
+    for (std::size_t pos = line.find(tok, from);
+         pos != std::string::npos; pos = line.find(tok, pos + 1)) {
+        const bool leftOk = pos == 0 || !identChar(line[pos - 1]);
+        const std::size_t end = pos + tok.size();
+        const bool rightOk = end >= line.size() || !identChar(line[end]);
+        if (leftOk && rightOk)
+            return pos;
+    }
+    return std::string::npos;
+}
+
+bool
+hasToken(const std::string &line, const std::string &tok)
+{
+    return findToken(line, tok) != std::string::npos;
+}
+
+/** Token immediately followed by '(' (ignoring spaces). */
+bool
+hasCallToken(const std::string &line, const std::string &tok)
+{
+    for (std::size_t pos = findToken(line, tok);
+         pos != std::string::npos;
+         pos = findToken(line, tok, pos + 1)) {
+        std::size_t after = pos + tok.size();
+        while (after < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[after])))
+            ++after;
+        if (after < line.size() && line[after] == '(')
+            return true;
+    }
+    return false;
+}
+
+/**
+ * Strip comments and string/char literals so tokens inside them never
+ * trigger rules (or hide them). @p inBlockComment carries the
+ * block-comment state across lines. Stripped spans are replaced by
+ * spaces, preserving column positions.
+ */
+std::string
+stripCommentsAndStrings(const std::string &line, bool &inBlockComment)
+{
+    std::string out(line.size(), ' ');
+    std::size_t i = 0;
+    while (i < line.size()) {
+        if (inBlockComment) {
+            if (line.compare(i, 2, "*/") == 0) {
+                inBlockComment = false;
+                i += 2;
+            } else {
+                ++i;
+            }
+            continue;
+        }
+        if (line.compare(i, 2, "//") == 0)
+            break;
+        if (line.compare(i, 2, "/*") == 0) {
+            inBlockComment = true;
+            i += 2;
+            continue;
+        }
+        if (line[i] == '"' || line[i] == '\'') {
+            const char quote = line[i];
+            ++i;
+            while (i < line.size()) {
+                if (line[i] == '\\') {
+                    i += 2;
+                    continue;
+                }
+                if (line[i] == quote) {
+                    ++i;
+                    break;
+                }
+                ++i;
+            }
+            continue;
+        }
+        out[i] = line[i];
+        ++i;
+    }
+    return out;
+}
+
+/** Containers whose template key argument we inspect for ptr-key. */
+const char *const kContainers[] = {
+    "map",           "set",           "multimap",
+    "multiset",      "unordered_map", "unordered_set",
+    "unordered_multimap", "unordered_multiset",
+};
+
+/**
+ * For every `container<` occurrence in @p line, call @p fn with the
+ * container token position and the position of its '<'.
+ */
+template <typename Fn>
+void
+forEachContainer(const std::string &line, Fn fn)
+{
+    for (const char *container : kContainers) {
+        const std::string tok(container);
+        for (std::size_t pos = findToken(line, tok);
+             pos != std::string::npos;
+             pos = findToken(line, tok, pos + 1)) {
+            const std::size_t lt = pos + tok.size();
+            if (lt < line.size() && line[lt] == '<')
+                fn(tok, pos, lt);
+        }
+    }
+}
+
+/**
+ * Given the position of '<' opening a template argument list, return
+ * the position one past the matching '>', or npos when the list is
+ * not closed on this line (declarations split across lines are rare
+ * in this tree; the scanner accepts missing the split ones).
+ */
+std::size_t
+matchTemplateClose(const std::string &line, std::size_t lt)
+{
+    int depth = 0;
+    for (std::size_t i = lt; i < line.size(); ++i) {
+        if (line[i] == '<') {
+            ++depth;
+        } else if (line[i] == '>') {
+            --depth;
+            if (depth == 0)
+                return i + 1;
+        }
+    }
+    return std::string::npos;
+}
+
+/** First template argument (depth-0 comma delimited), trimmed. */
+std::string
+firstTemplateArg(const std::string &line, std::size_t lt)
+{
+    int depth = 0;
+    for (std::size_t i = lt; i < line.size(); ++i) {
+        const char c = line[i];
+        if (c == '<' || c == '(' || c == '[') {
+            ++depth;
+        } else if (c == '>' || c == ')' || c == ']') {
+            --depth;
+            if (depth == 0)
+                return trim(line.substr(lt + 1, i - lt - 1));
+        } else if (c == ',' && depth == 1) {
+            return trim(line.substr(lt + 1, i - lt - 1));
+        }
+    }
+    return "";
+}
+
+/**
+ * Last identifier of a range-for range expression: `pool->entries()`
+ * -> "entries", `entries_` -> "entries_", `views[i].experts` ->
+ * "experts". Empty when the expression ends in something unnamed
+ * (a literal, a ')' of a non-trivial call chain, ...).
+ */
+std::string
+trailingIdentifier(std::string expr)
+{
+    expr = trim(expr);
+    // Strip one trailing call "()" so accessors resolve to their name.
+    if (endsWith(expr, "()"))
+        expr = trim(expr.substr(0, expr.size() - 2));
+    std::size_t e = expr.size();
+    while (e > 0 && identChar(expr[e - 1]))
+        --e;
+    return expr.substr(e);
+}
+
+/** Parsed allow directive occupying one source line. */
+struct AllowDirective
+{
+    Rule rule = Rule::BadAllow;
+    bool ruleValid = false;
+    std::string ruleText;
+    std::string justification;
+    bool used = false;
+};
+
+/** Parse `detlint:allow(<rule>) <justification>` from a raw line. */
+std::optional<AllowDirective>
+parseAllowDirective(const std::string &rawLine)
+{
+    const std::string marker = "detlint:allow(";
+    const std::size_t pos = rawLine.find(marker);
+    if (pos == std::string::npos)
+        return std::nullopt;
+    AllowDirective d;
+    const std::size_t open = pos + marker.size();
+    const std::size_t close = rawLine.find(')', open);
+    if (close == std::string::npos) {
+        d.ruleText = trim(rawLine.substr(open));
+        return d; // unterminated: reported as bad-allow
+    }
+    d.ruleText = trim(rawLine.substr(open, close - open));
+    if (const auto rule = parseRule(d.ruleText)) {
+        d.rule = *rule;
+        d.ruleValid = true;
+    }
+    std::string rest = rawLine.substr(close + 1);
+    // Tolerate decorative separators between the rule and the prose.
+    while (true) {
+        rest = trim(rest);
+        if (!rest.empty() &&
+            (rest[0] == ':' || rest[0] == '-' || rest[0] == ';')) {
+            rest = rest.substr(1);
+            continue;
+        }
+        break;
+    }
+    d.justification = rest;
+    return d;
+}
+
+bool
+isDigestAffectingPath(const std::string &path)
+{
+    return path.find("src/metrics/") != std::string::npos ||
+           path.find("src/replay/") != std::string::npos;
+}
+
+bool
+wallclockAllowlisted(const std::string &path)
+{
+    return endsWith(path, "src/util/walltime.h");
+}
+
+bool
+rngAllowlisted(const std::string &path)
+{
+    return endsWith(path, "src/util/rng.h") ||
+           endsWith(path, "src/util/rng.cc");
+}
+
+void
+appendJsonString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+} // namespace
+
+const char *
+ruleName(Rule rule)
+{
+    switch (rule) {
+      case Rule::Wallclock: return "wallclock";
+      case Rule::Rng: return "rng";
+      case Rule::UnorderedIter: return "unordered-iter";
+      case Rule::UnorderedDecl: return "unordered-decl";
+      case Rule::PtrKey: return "ptr-key";
+      case Rule::FloatAccum: return "float-accum";
+      case Rule::BadAllow: return "bad-allow";
+    }
+    return "?";
+}
+
+std::optional<Rule>
+parseRule(const std::string &name)
+{
+    for (Rule r : {Rule::Wallclock, Rule::Rng, Rule::UnorderedIter,
+                   Rule::UnorderedDecl, Rule::PtrKey, Rule::FloatAccum}) {
+        if (name == ruleName(r))
+            return r;
+    }
+    return std::nullopt;
+}
+
+void
+collectUnorderedNames(const std::string &text, Context &ctx)
+{
+    std::istringstream in(text);
+    std::string rawLine;
+    bool inBlock = false;
+    while (std::getline(in, rawLine)) {
+        const std::string line =
+            stripCommentsAndStrings(rawLine, inBlock);
+        forEachContainer(line, [&](const std::string &tok,
+                                   std::size_t, std::size_t lt) {
+            if (tok.compare(0, 9, "unordered") != 0)
+                return;
+            const std::size_t close = matchTemplateClose(line, lt);
+            if (close == std::string::npos)
+                return;
+            // Skip refs/cv to the declared (or accessor) name.
+            std::size_t i = close;
+            while (i < line.size() &&
+                   (std::isspace(static_cast<unsigned char>(line[i])) ||
+                    line[i] == '&' || line[i] == '*'))
+                ++i;
+            std::size_t e = i;
+            while (e < line.size() && identChar(line[e]))
+                ++e;
+            if (e > i)
+                ctx.unorderedNames.insert(line.substr(i, e - i));
+        });
+    }
+}
+
+namespace {
+
+/** Per-line rule matching shared by scanSource. */
+void
+matchLineRules(const std::string &path, int lineNo,
+               const std::string &raw, const std::string &line,
+               const Context &ctx, std::vector<Finding> &findings)
+{
+    const auto add = [&](Rule rule, const std::string &message) {
+        findings.push_back({path, lineNo, rule, trim(raw), message});
+    };
+
+    // ---- wallclock -------------------------------------------------
+    if (!wallclockAllowlisted(path)) {
+        for (const char *tok :
+             {"steady_clock", "system_clock", "high_resolution_clock",
+              "clock_gettime", "gettimeofday", "timespec_get",
+              "localtime", "gmtime"}) {
+            if (hasToken(line, tok)) {
+                add(Rule::Wallclock,
+                    std::string("host clock '") + tok +
+                        "' outside src/util/walltime.h — simulated "
+                        "code must use the virtual clock");
+                break;
+            }
+        }
+        if (hasCallToken(line, "time") || hasCallToken(line, "clock")) {
+            add(Rule::Wallclock,
+                "C time()/clock() call outside src/util/walltime.h");
+        }
+    }
+
+    // ---- rng -------------------------------------------------------
+    if (!rngAllowlisted(path)) {
+        bool hit = false;
+        for (const char *tok :
+             {"rand", "srand", "random_device", "mt19937", "mt19937_64",
+              "default_random_engine", "minstd_rand", "minstd_rand0",
+              "ranlux24", "ranlux48", "knuth_b"}) {
+            if (hasToken(line, tok)) {
+                add(Rule::Rng,
+                    std::string("raw randomness '") + tok +
+                        "' outside src/util/rng.* — std RNG output "
+                        "is implementation-defined; use coserve::Rng");
+                hit = true;
+                break;
+            }
+        }
+        if (!hit) {
+            // Any identifier ending in _distribution (std::uniform_*,
+            // normal_, poisson_, ...) — all implementation-defined.
+            for (std::size_t pos = line.find("_distribution");
+                 pos != std::string::npos;
+                 pos = line.find("_distribution", pos + 1)) {
+                const std::size_t end = pos + 13;
+                if ((end >= line.size() || !identChar(line[end])) &&
+                    pos > 0 && identChar(line[pos - 1])) {
+                    add(Rule::Rng,
+                        "std::*_distribution outside src/util/rng.* — "
+                        "output is implementation-defined; use "
+                        "coserve::Rng");
+                    break;
+                }
+            }
+        }
+    }
+
+    // ---- unordered-decl (digest-affecting directories) -------------
+    if (isDigestAffectingPath(path)) {
+        forEachContainer(line, [&](const std::string &tok,
+                                   std::size_t, std::size_t) {
+            if (tok.compare(0, 9, "unordered") == 0)
+                add(Rule::UnorderedDecl,
+                    "unordered container declared in a "
+                    "digest-affecting path (metrics / decision log) — "
+                    "use an ordered or index-based container");
+        });
+    }
+
+    // ---- unordered-iter --------------------------------------------
+    for (std::size_t pos = findToken(line, "for");
+         pos != std::string::npos;
+         pos = findToken(line, "for", pos + 1)) {
+        std::size_t open = line.find('(', pos + 3);
+        if (open == std::string::npos)
+            continue;
+        // Range expression: after the single ':' (not "::") at paren
+        // depth 1. Classic for loops (';' present) don't match.
+        int depth = 0;
+        std::size_t colon = std::string::npos;
+        std::size_t closeParen = std::string::npos;
+        bool classic = false;
+        for (std::size_t i = open; i < line.size(); ++i) {
+            const char c = line[i];
+            if (c == '(' || c == '[') {
+                ++depth;
+            } else if (c == ')' || c == ']') {
+                --depth;
+                if (depth == 0) {
+                    closeParen = i;
+                    break;
+                }
+            } else if (c == ';' && depth == 1) {
+                classic = true;
+                break;
+            } else if (c == ':' && depth == 1 &&
+                       colon == std::string::npos) {
+                const bool partOfScope =
+                    (i + 1 < line.size() && line[i + 1] == ':') ||
+                    (i > 0 && line[i - 1] == ':');
+                if (!partOfScope)
+                    colon = i;
+            }
+        }
+        if (classic || colon == std::string::npos)
+            continue;
+        const std::size_t exprEnd = closeParen == std::string::npos
+                                        ? line.size()
+                                        : closeParen;
+        const std::string name = trailingIdentifier(
+            line.substr(colon + 1, exprEnd - colon - 1));
+        if (!name.empty() && ctx.unorderedNames.count(name) > 0) {
+            add(Rule::UnorderedIter,
+                "iteration over unordered container '" + name +
+                    "' — visit order is unspecified and differs "
+                    "across standard libraries; sort first or "
+                    "justify why order cannot leak out");
+        }
+    }
+
+    // ---- ptr-key ---------------------------------------------------
+    forEachContainer(line, [&](const std::string &tok, std::size_t,
+                               std::size_t lt) {
+        const std::string key = firstTemplateArg(line, lt);
+        if (!key.empty() && key.back() == '*')
+            add(Rule::PtrKey,
+                tok + " keyed on pointer type '" + key +
+                    "' — pointer values depend on allocation order, "
+                    "so iteration order is nondeterministic");
+    });
+
+    // ---- float-accum -----------------------------------------------
+    if (line.find("std::reduce") != std::string::npos ||
+        hasToken(line, "transform_reduce") ||
+        line.find("execution::par") != std::string::npos ||
+        (raw.find("#pragma") != std::string::npos &&
+         raw.find("omp") != std::string::npos &&
+         raw.find("reduction") != std::string::npos)) {
+        add(Rule::FloatAccum,
+            "unordered reduction primitive — floating-point addition "
+            "is not associative, so reduction order changes the "
+            "accumulated bits; use a sequential loop");
+    }
+}
+
+} // namespace
+
+void
+scanSource(const std::string &path, const std::string &text,
+           const Context &ctx, ScanResult &out)
+{
+    std::vector<std::string> rawLines;
+    {
+        std::istringstream in(text);
+        std::string l;
+        while (std::getline(in, l))
+            rawLines.push_back(l);
+    }
+
+    // Pass 1: allow directives (parsed from the raw text — they live
+    // in comments, which pass 2 strips).
+    std::map<int, AllowDirective> allows;
+    for (std::size_t i = 0; i < rawLines.size(); ++i) {
+        if (auto d = parseAllowDirective(rawLines[i]))
+            allows.emplace(static_cast<int>(i) + 1, *d);
+    }
+
+    // Pass 2: rule matching on comment/string-stripped lines.
+    std::vector<Finding> findings;
+    bool inBlock = false;
+    for (std::size_t i = 0; i < rawLines.size(); ++i) {
+        const std::string stripped =
+            stripCommentsAndStrings(rawLines[i], inBlock);
+        matchLineRules(path, static_cast<int>(i) + 1, rawLines[i],
+                       stripped, ctx, findings);
+    }
+
+    // Pass 3: apply allows (same line or the line directly above).
+    for (Finding &f : findings) {
+        bool suppressed = false;
+        for (int line : {f.line, f.line - 1}) {
+            auto it = allows.find(line);
+            if (it == allows.end())
+                continue;
+            AllowDirective &d = it->second;
+            if (!d.ruleValid || d.rule != f.rule ||
+                d.justification.empty())
+                continue;
+            d.used = true;
+            if (!suppressed) {
+                out.allows.push_back(
+                    {f.file, f.line, f.rule, d.justification});
+                suppressed = true;
+            }
+        }
+        if (!suppressed)
+            out.violations.push_back(std::move(f));
+    }
+
+    // Pass 4: malformed / unjustified / stale allows are violations.
+    for (const auto &[line, d] : allows) {
+        if (!d.ruleValid) {
+            out.violations.push_back(
+                {path, line, Rule::BadAllow, trim(rawLines[line - 1]),
+                 "allow names unknown rule '" + d.ruleText + "'"});
+        } else if (d.justification.empty()) {
+            out.violations.push_back(
+                {path, line, Rule::BadAllow, trim(rawLines[line - 1]),
+                 std::string("allow(") + ruleName(d.rule) +
+                     ") carries no justification"});
+        } else if (!d.used) {
+            out.violations.push_back(
+                {path, line, Rule::BadAllow, trim(rawLines[line - 1]),
+                 std::string("stale allow(") + ruleName(d.rule) +
+                     ") suppresses nothing — delete it"});
+        }
+    }
+    out.filesScanned += 1;
+}
+
+bool
+scanTree(const std::string &root, ScanResult &out)
+{
+    namespace fs = std::filesystem;
+    if (!fs::exists(root))
+        return false;
+
+    std::vector<std::string> paths;
+    for (const auto &entry : fs::recursive_directory_iterator(root)) {
+        if (!entry.is_regular_file())
+            continue;
+        const std::string ext = entry.path().extension().string();
+        if (ext == ".h" || ext == ".cc")
+            paths.push_back(entry.path().generic_string());
+    }
+    // Directory iteration order is OS-dependent; report order is not.
+    std::sort(paths.begin(), paths.end());
+
+    const auto slurp = [](const std::string &p) {
+        std::ifstream in(p, std::ios::binary);
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        return ss.str();
+    };
+
+    Context ctx;
+    std::vector<std::string> texts;
+    texts.reserve(paths.size());
+    for (const std::string &p : paths) {
+        texts.push_back(slurp(p));
+        collectUnorderedNames(texts.back(), ctx);
+    }
+    for (std::size_t i = 0; i < paths.size(); ++i)
+        scanSource(paths[i], texts[i], ctx, out);
+    return true;
+}
+
+std::string
+toJson(const ScanResult &result)
+{
+    std::string out = "{\n  \"version\": 1,\n  \"files_scanned\": ";
+    out += std::to_string(result.filesScanned);
+    out += ",\n  \"violation_count\": ";
+    out += std::to_string(result.violations.size());
+    out += ",\n  \"allow_count\": ";
+    out += std::to_string(result.allows.size());
+    out += ",\n  \"violations\": [";
+    for (std::size_t i = 0; i < result.violations.size(); ++i) {
+        const Finding &f = result.violations[i];
+        out += i == 0 ? "\n" : ",\n";
+        out += "    {\"file\": ";
+        appendJsonString(out, f.file);
+        out += ", \"line\": " + std::to_string(f.line);
+        out += ", \"rule\": ";
+        appendJsonString(out, ruleName(f.rule));
+        out += ", \"snippet\": ";
+        appendJsonString(out, f.snippet);
+        out += ", \"message\": ";
+        appendJsonString(out, f.message);
+        out += "}";
+    }
+    out += "\n  ],\n  \"allows\": [";
+    for (std::size_t i = 0; i < result.allows.size(); ++i) {
+        const Allow &a = result.allows[i];
+        out += i == 0 ? "\n" : ",\n";
+        out += "    {\"file\": ";
+        appendJsonString(out, a.file);
+        out += ", \"line\": " + std::to_string(a.line);
+        out += ", \"rule\": ";
+        appendJsonString(out, ruleName(a.rule));
+        out += ", \"justification\": ";
+        appendJsonString(out, a.justification);
+        out += "}";
+    }
+    out += "\n  ]\n}\n";
+    return out;
+}
+
+int
+printReport(const ScanResult &result)
+{
+    for (const Finding &f : result.violations) {
+        std::cout << f.file << ":" << f.line << ": ["
+                  << ruleName(f.rule) << "] " << f.message << "\n    "
+                  << f.snippet << "\n";
+    }
+    std::cout << "detlint: " << result.filesScanned << " files, "
+              << result.violations.size() << " violation(s), "
+              << result.allows.size() << " justified allow(s)\n";
+    for (const Allow &a : result.allows) {
+        std::cout << "  allow " << a.file << ":" << a.line << " ["
+                  << ruleName(a.rule) << "] " << a.justification
+                  << "\n";
+    }
+    return static_cast<int>(result.violations.size());
+}
+
+} // namespace detlint

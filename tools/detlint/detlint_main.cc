@@ -1,0 +1,63 @@
+/**
+ * @file
+ * detlint CLI.
+ *
+ * Usage: detlint [--root DIR]... [--json FILE]
+ *
+ * Scans every .h / .cc under the given roots (default: src) for
+ * determinism-rule violations, prints a human-readable report, and
+ * optionally writes machine-readable JSON findings (the CI artifact
+ * consumed by tools/compare_bench.py --detlint).
+ *
+ * Exit status: 0 clean (justified allows are fine), 1 when any
+ * violation remains, 2 on usage / IO errors.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "detlint/detlint.h"
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> roots;
+    std::string jsonPath;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--root" && i + 1 < argc) {
+            roots.push_back(argv[++i]);
+        } else if (arg == "--json" && i + 1 < argc) {
+            jsonPath = argv[++i];
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: detlint [--root DIR]... [--json FILE]\n";
+            return 0;
+        } else {
+            std::cerr << "detlint: unknown argument '" << arg << "'\n";
+            return 2;
+        }
+    }
+    if (roots.empty())
+        roots.push_back("src");
+
+    detlint::ScanResult result;
+    for (const std::string &root : roots) {
+        if (!detlint::scanTree(root, result)) {
+            std::cerr << "detlint: no such directory: " << root << "\n";
+            return 2;
+        }
+    }
+
+    if (!jsonPath.empty()) {
+        std::ofstream out(jsonPath, std::ios::binary);
+        if (!out) {
+            std::cerr << "detlint: cannot write " << jsonPath << "\n";
+            return 2;
+        }
+        out << detlint::toJson(result);
+    }
+
+    return detlint::printReport(result) > 0 ? 1 : 0;
+}
