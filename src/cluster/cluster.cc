@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "core/scheduler.h"
+#include "metrics/report.h"
 #include "replay/decision_log.h"
 #include "slo/admission.h"
 #include "util/logging.h"
@@ -255,6 +256,24 @@ ClusterConfig::validate(const RunOptions &opts) const
             "online");
     }
 
+    const obs::TelemetryConfig &tel = opts.telemetry;
+    if (!tel.enabled &&
+        (!tel.tracePath.empty() || !tel.metricsJsonPath.empty() ||
+         !tel.metricsCsvPath.empty())) {
+        errors.push_back(
+            "telemetry output paths require telemetry.enabled");
+    }
+    if (tel.enabled && tel.sampleInterval <= 0)
+        errors.push_back("telemetry.sampleInterval must be > 0");
+    // The epoch sampler lives in the coordinator's time race; a static
+    // sharded run has no shared stepping loop to sample from.
+    if (tel.enabled && !tel.metricsCsvPath.empty() && !online &&
+        !opts.faults.any()) {
+        errors.push_back(
+            "telemetry.metricsCsvPath (epoch sampling) requires the "
+            "coordinator path (online mode or a fault plan)");
+    }
+
     std::vector<char> crashSeen(n, 0);
     for (const ReplicaCrash &c : opts.faults.crashes) {
         if (c.replica >= n) {
@@ -368,14 +387,21 @@ ClusterEngine::run(const Trace &trace, const RunOptions &opts)
         decisions.beginReplay(&replayLog);
     }
 
+    // Per-run observability state. The registry is always live (its
+    // relaxed counters mirror the legacy result fields at the same
+    // sites); the tracer, sampler and file outputs exist only when
+    // opts.telemetry.enabled — the null-sink fast path.
+    obs::Telemetry telem(opts.telemetry,
+                         static_cast<int>(cfg_.replicas.size()));
+
     // Fault plans need every replica on the shared clock even in
     // static mode (a crash interrupts mid-run), so they take the
     // coordinator path with routing pinned to the offline assignment.
     const bool online = cfg_.resolveMode(opts) == RunMode::Online;
     ClusterResult out =
         online || opts.faults.any()
-            ? runCoordinated(trace, opts, online, decisions)
-            : runSharded(trace, decisions);
+            ? runCoordinated(trace, opts, online, decisions, telem)
+            : runSharded(trace, decisions, telem);
 
     decisions.finish();
     out.decisionDigest = decisions.log().digest();
@@ -383,6 +409,24 @@ ClusterEngine::run(const Trace &trace, const RunOptions &opts)
         static_cast<std::int64_t>(decisions.log().size());
     if (!opts.recordPath.empty())
         decisions.log().save(opts.recordPath);
+
+    // Observability epilogue: derived gauges from the final result,
+    // the per-replica 1-in-16 scheduling-wall samples unified into the
+    // host profile, then the configured file outputs; the frozen
+    // snapshot rides on the result for reports and reconciliation.
+    exportClusterMetrics(out, telem.registry());
+    for (const RunResult &rep : out.replicas) {
+        const std::size_t cnt = rep.schedulingWallUs.count();
+        if (cnt > 0) {
+            telem.host().add("scheduling",
+                             rep.schedulingWallUs.mean() *
+                                 static_cast<double>(cnt),
+                             static_cast<std::int64_t>(cnt));
+        }
+    }
+    if (!telem.finish())
+        fatal("telemetry: failed to write configured output files");
+    out.metrics = telem.registry().snapshot();
     return out;
 }
 
@@ -423,8 +467,10 @@ ClusterEngine::appendSharedTierStats(ClusterResult &out,
 }
 
 ClusterResult
-ClusterEngine::runSharded(const Trace &trace, DecisionTrace &decisions)
+ClusterEngine::runSharded(const Trace &trace, DecisionTrace &decisions,
+                          obs::Telemetry &telem)
 {
+    const WallTimer routeWall;
     const std::vector<std::size_t> assignment = routeTrace(trace);
     // The route stream *is* the static coordinator's decision stream:
     // digesting it here keeps static runs replay-checkable and their
@@ -436,12 +482,14 @@ ClusterEngine::runSharded(const Trace &trace, DecisionTrace &decisions)
     }
     const std::vector<Trace> shards =
         shardTrace(trace, assignment, cfg_.replicas.size());
+    telem.host().add("route_shard", routeWall.elapsedMicros());
 
     std::unique_ptr<SharedCpuTier> sharedCpu = makeSharedCpuTier();
 
-    const auto runReplica = [this, &shards, &sharedCpu](std::size_t i,
-                                                        RunResult &out) {
-        out = makeReplicaEngine(i, sharedCpu.get())->run(shards[i]);
+    const auto runReplica = [this, &shards, &sharedCpu,
+                             &telem](std::size_t i, RunResult &out) {
+        out = makeReplicaEngine(i, sharedCpu.get(), telem)
+                  ->run(shards[i]);
     };
 
     std::vector<RunResult> results(cfg_.replicas.size());
@@ -457,9 +505,12 @@ ClusterEngine::runSharded(const Trace &trace, DecisionTrace &decisions)
         for (std::size_t i = 0; i < cfg_.replicas.size(); ++i)
             runReplica(i, results[i]);
     }
+    telem.host().add("replica_run", wall.elapsedMicros());
+    const WallTimer collectWall;
     ClusterResult out = aggregateClusterResult(
         cfg_.label, toString(cfg_.routing), std::move(results));
     out.wallSeconds = wall.elapsedSeconds();
+    telem.host().add("collect", collectWall.elapsedMicros());
     out.preemptionEnabled = cfg_.preemption.enabled;
     appendSharedTierStats(out, sharedCpu.get());
     return out;
@@ -467,13 +518,20 @@ ClusterEngine::runSharded(const Trace &trace, DecisionTrace &decisions)
 
 std::unique_ptr<ServingEngine>
 ClusterEngine::makeReplicaEngine(std::size_t i,
-                                 SharedCpuTier *sharedCpu) const
+                                 SharedCpuTier *sharedCpu,
+                                 obs::Telemetry &telem) const
 {
     const ReplicaSpec &spec = cfg_.replicas[i];
     EngineConfig cfg = spec.cfg;
     cfg.label = cfg_.label + "/replica" + std::to_string(i);
     if (sharedCpu != nullptr)
         cfg.externalCpuTier = sharedCpu;
+    // Live metric counters (always on) and this replica's span-trace
+    // buffer (null unless telemetry is enabled). The buffer is
+    // pre-created by the Telemetry ctor, so construction inside a
+    // replica thread (static-parallel mode) never races.
+    cfg.metrics = &telem.registry();
+    cfg.tracer = telem.replicaTracer(static_cast<int>(i));
     // Cluster-level preemption policy applies uniformly: migration
     // break-even and hysteresis must agree across replicas or a group
     // migratable at its source would be un-adoptable at its target.
@@ -485,7 +543,8 @@ ClusterEngine::makeReplicaEngine(std::size_t i,
 ClusterResult
 ClusterEngine::runCoordinated(const Trace &trace,
                               const RunOptions &opts, bool liveRouting,
-                              DecisionTrace &decisions)
+                              DecisionTrace &decisions,
+                              obs::Telemetry &telem)
 {
     const std::size_t n = cfg_.replicas.size();
     std::unique_ptr<SharedCpuTier> sharedCpu = makeSharedCpuTier();
@@ -501,11 +560,49 @@ ClusterEngine::runCoordinated(const Trace &trace,
     std::vector<std::unique_ptr<ServingEngine>> engines;
     engines.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
-        engines.push_back(makeReplicaEngine(i, sharedCpu.get()));
+        engines.push_back(makeReplicaEngine(i, sharedCpu.get(), telem));
         // Disjoint strided id spaces: stolen requests keep their id,
         // so ids must stay unique cluster-wide.
         engines.back()->beginOnline(static_cast<RequestId>(i),
                                     static_cast<RequestId>(n));
+    }
+    telem.host().add("build", wall.elapsedMicros());
+
+    // ----- observability ---------------------------------------------
+    //
+    // Coordinator-side live counters, incremented at exactly the sites
+    // that maintain the legacy local tallies (the reconciliation test
+    // asserts they agree), plus the coordinator's trace buffer (pid 0;
+    // null when telemetry is off). cluster.images / .inferences /
+    // preempt.rescues are the engines' handles, read-only here for the
+    // epoch sampler.
+    obs::MetricsRegistry &mreg = telem.registry();
+    obs::Counter &cStolen = mreg.counter("cluster.stolen_requests");
+    obs::Counter &cMigGroups = mreg.counter("cluster.migrated_groups");
+    obs::Counter &cMigRequests =
+        mreg.counter("cluster.migrated_requests");
+    obs::Counter &cActivations =
+        mreg.counter("cluster.autoscale_activations");
+    obs::Counter &cQuiesces =
+        mreg.counter("cluster.autoscale_quiesces");
+    obs::Counter &cEvacuated =
+        mreg.counter("cluster.autoscale_evacuated");
+    obs::Counter &cQuiesceDrains =
+        mreg.counter("cluster.quiesce_drains");
+    obs::Counter &cRejected = mreg.counter("cluster.rejected");
+    obs::Counter &cDowngraded = mreg.counter("cluster.downgraded");
+    obs::Counter &cCrashes = mreg.counter("cluster.crashes");
+    obs::Counter &cRehomed = mreg.counter("cluster.crash_rehomed");
+    obs::Counter &cLost = mreg.counter("cluster.crash_lost");
+    obs::Counter &cStragglers = mreg.counter("cluster.stragglers");
+    obs::Counter &cBrownouts = mreg.counter("cluster.brownouts");
+    obs::Counter &cImagesLive = mreg.counter("cluster.images");
+    obs::Counter &cInferencesLive = mreg.counter("cluster.inferences");
+    obs::Counter &cRescuesLive = mreg.counter("preempt.rescues");
+    obs::ReplicaTracer *coordTr = telem.coordinatorTracer();
+    if (coordTr != nullptr) {
+        coordTr->setProcessName("coordinator");
+        coordTr->setThreadName(0, "coordinator");
     }
 
     const std::vector<ReplicaView> views = makeReplicaViews();
@@ -623,6 +720,7 @@ ClusterEngine::runCoordinated(const Trace &trace,
                 continue;
             const Time drain = engines[i]->now() - quiesceStart[i];
             quiesceDrains += 1;
+            cQuiesceDrains.add(1);
             quiesceDrainTotal += drain;
             quiesceDrainMax = std::max(quiesceDrainMax, drain);
             quiesceStart[i] = kTimeNever;
@@ -751,9 +849,18 @@ ClusterEngine::runCoordinated(const Trace &trace,
         decisions.note({now, DecisionKind::Migrate,
                         static_cast<std::uint64_t>(src),
                         static_cast<std::uint64_t>(target), cnt});
+        if (coordTr != nullptr) {
+            coordTr->instant(
+                "migrate", 0, now,
+                {"from", static_cast<std::int64_t>(src)},
+                {"to", static_cast<std::int64_t>(target)},
+                {"requests", static_cast<std::int64_t>(cnt)});
+        }
         if (target != src) {
             migratedGroups += 1;
             migratedRequests += static_cast<std::int64_t>(cnt);
+            cMigGroups.add(1);
+            cMigRequests.add(static_cast<std::int64_t>(cnt));
             hintSharedTier(img.requests);
         }
         engines[target]->adoptCheckpoint(std::move(img));
@@ -865,6 +972,14 @@ ClusterEngine::runCoordinated(const Trace &trace,
                             static_cast<std::uint64_t>(victim),
                             static_cast<std::uint64_t>(thief),
                             static_cast<std::uint64_t>(got)});
+            cStolen.add(static_cast<std::int64_t>(got));
+            if (coordTr != nullptr) {
+                coordTr->instant(
+                    "steal", 0, now,
+                    {"victim", static_cast<std::int64_t>(victim)},
+                    {"thief", static_cast<std::int64_t>(thief)},
+                    {"requests", static_cast<std::int64_t>(got)});
+            }
             // Keep the thief's upcoming demand loads resident in the
             // shared DRAM tier (steal-aware admission).
             hintSharedTier(stealBuf);
@@ -936,6 +1051,14 @@ ClusterEngine::runCoordinated(const Trace &trace,
                                 static_cast<std::uint64_t>(q),
                                 static_cast<std::uint64_t>(t),
                                 static_cast<std::uint64_t>(got)});
+                cEvacuated.add(static_cast<std::int64_t>(got));
+                if (coordTr != nullptr) {
+                    coordTr->instant(
+                        "evacuate", 0, now,
+                        {"from", static_cast<std::int64_t>(q)},
+                        {"to", static_cast<std::int64_t>(t)},
+                        {"requests", static_cast<std::int64_t>(got)});
+                }
                 hintSharedTier(evacBuf);
                 for (const Request &req : evacBuf)
                     engines[t]->injectRequest(req);
@@ -999,6 +1122,12 @@ ClusterEngine::runCoordinated(const Trace &trace,
                 live[i].acceptingWork = true;
                 decisions.note({now, DecisionKind::ScaleUp,
                                 static_cast<std::uint64_t>(i), 0, 0});
+                cActivations.add(1);
+                if (coordTr != nullptr) {
+                    coordTr->instant(
+                        "scale-up", 0, now,
+                        {"replica", static_cast<std::int64_t>(i)});
+                }
                 break;
             }
         } else if (violRate < as.violationLow &&
@@ -1027,6 +1156,12 @@ ClusterEngine::runCoordinated(const Trace &trace,
             live[q].acceptingWork = false;
             decisions.note({now, DecisionKind::Quiesce,
                             static_cast<std::uint64_t>(q), 0, 0});
+            cQuiesces.add(1);
+            if (coordTr != nullptr) {
+                coordTr->instant(
+                    "quiesce", 0, now,
+                    {"replica", static_cast<std::int64_t>(q)});
+            }
             evacuate(q, now);
             if (quiesceStart[q] == kTimeNever) {
                 quiesceStart[q] = now;
@@ -1112,6 +1247,15 @@ ClusterEngine::runCoordinated(const Trace &trace,
             // lost request is exactly one lost image.
             lostHere += lostCkpt;
             lostImages += lostHere;
+            cCrashes.add(1);
+            cRehomed.add(rehomedHere);
+            cLost.add(lostHere);
+            if (coordTr != nullptr) {
+                coordTr->instant(
+                    "crash", 0, f.time,
+                    {"replica", static_cast<std::int64_t>(r)},
+                    {"rehomed", rehomedHere}, {"lost", lostHere});
+            }
             decisions.note({f.time, DecisionKind::Crash,
                             static_cast<std::uint64_t>(r),
                             static_cast<std::uint64_t>(rehomedHere),
@@ -1130,12 +1274,25 @@ ClusterEngine::runCoordinated(const Trace &trace,
         case DecisionKind::StragglerOn:
             engines[f.replica]->setComputeScale(f.factor);
             stragglers += 1;
+            cStragglers.add(1);
+            if (coordTr != nullptr) {
+                coordTr->instant(
+                    "straggler on", 0, f.time,
+                    {"replica",
+                     static_cast<std::int64_t>(f.replica)});
+            }
             decisions.note({f.time, DecisionKind::StragglerOn,
                             static_cast<std::uint64_t>(f.replica),
                             ppm(f.factor), 0});
             break;
         case DecisionKind::StragglerOff:
             engines[f.replica]->setComputeScale(1.0);
+            if (coordTr != nullptr) {
+                coordTr->instant(
+                    "straggler off", 0, f.time,
+                    {"replica",
+                     static_cast<std::int64_t>(f.replica)});
+            }
             decisions.note({f.time, DecisionKind::StragglerOff,
                             static_cast<std::uint64_t>(f.replica), 0,
                             0});
@@ -1143,12 +1300,25 @@ ClusterEngine::runCoordinated(const Trace &trace,
         case DecisionKind::BrownoutOn:
             engines[f.replica]->setStorageRateScale(f.factor);
             brownouts += 1;
+            cBrownouts.add(1);
+            if (coordTr != nullptr) {
+                coordTr->instant(
+                    "brownout on", 0, f.time,
+                    {"replica",
+                     static_cast<std::int64_t>(f.replica)});
+            }
             decisions.note({f.time, DecisionKind::BrownoutOn,
                             static_cast<std::uint64_t>(f.replica),
                             ppm(f.factor), 0});
             break;
         case DecisionKind::BrownoutOff:
             engines[f.replica]->setStorageRateScale(1.0);
+            if (coordTr != nullptr) {
+                coordTr->instant(
+                    "brownout off", 0, f.time,
+                    {"replica",
+                     static_cast<std::int64_t>(f.replica)});
+            }
             decisions.note({f.time, DecisionKind::BrownoutOff,
                             static_cast<std::uint64_t>(f.replica), 0,
                             0});
@@ -1156,6 +1326,56 @@ ClusterEngine::runCoordinated(const Trace &trace,
         default:
             panic("unexpected fault action kind");
         }
+    };
+
+    // ----- epoch sampler ---------------------------------------------
+    //
+    // A sample observes the quiescent DES state between coordinator
+    // steps WITHOUT stepping any engine: an extra stepAll() cut point
+    // would reorder the preempt/outbox/quiesce drains relative to an
+    // unsampled run and drift the decision digest. Pure observation
+    // keeps telemetry on/off byte-identical.
+    const auto recordEpochSample = [&](Time t) {
+        obs::SampleRow row;
+        row.t = t;
+        row.activeReplicas = static_cast<int>(activeCount);
+        std::int64_t gpuHits = 0, gpuMisses = 0;
+        std::int64_t cpuHits = 0, cpuMisses = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (crashed[i])
+                continue;
+            // queuedRequestCount() + sampleHitCounters(), not
+            // fillLoadView() + appendTierStats(): a full load view
+            // sorts resident/queued expert sets and TierStats rows
+            // copy tier name strings on every call, which would
+            // dominate the <5% tracing overhead budget.
+            row.queueDepth += engines[i]->queuedRequestCount();
+            engines[i]->sampleHitCounters(gpuHits, gpuMisses, cpuHits,
+                                          cpuMisses);
+        }
+        if (sharedCpu != nullptr) {
+            const TierStats shared = sharedCpu->stats();
+            cpuHits += shared.counters.hits;
+            cpuMisses += shared.counters.misses;
+        }
+        if (gpuHits + gpuMisses > 0) {
+            row.gpuHitRate =
+                static_cast<double>(gpuHits) /
+                static_cast<double>(gpuHits + gpuMisses);
+        }
+        if (cpuHits + cpuMisses > 0) {
+            row.cpuHitRate =
+                static_cast<double>(cpuHits) /
+                static_cast<double>(cpuHits + cpuMisses);
+        }
+        row.images = cImagesLive.value();
+        row.inferences = cInferencesLive.value();
+        row.preemptions = cRescuesLive.value();
+        if (t > 0) {
+            row.goodputImgPerSec =
+                static_cast<double>(row.images) / toSeconds(t);
+        }
+        telem.recordSample(row);
     };
 
     // Lockstep coordination on the shared virtual clock: the next
@@ -1171,6 +1391,7 @@ ClusterEngine::runCoordinated(const Trace &trace,
     // applied (there is nothing left for them to affect).
     std::size_t next = 0;
     Time lastArrival = 0;
+    const WallTimer coordWall;
     for (;;) {
         const Time tArr = next < trace.arrivals.size()
                               ? trace.arrivals[next].time
@@ -1190,6 +1411,17 @@ ClusterEngine::runCoordinated(const Trace &trace,
                                 ? faults[nextFault].time
                                 : kTimeNever;
         const Time tCtl = as.enabled ? nextControl : kTimeNever;
+
+        // Sampler rows are due before anything else happens; they
+        // never step, decide or mutate, so firing them first cannot
+        // perturb the schedule below.
+        const Time tSample = telem.nextSampleTime();
+        if (tSample != kTimeNever &&
+            tSample <= std::min({tArr, tEv, tFault, tCtl})) {
+            recordEpochSample(tSample);
+            continue;
+        }
+
         if (tFault != kTimeNever &&
             tFault <= std::min({tArr, tEv, tCtl})) {
             stepAll(tFault);
@@ -1237,6 +1469,13 @@ ClusterEngine::runCoordinated(const Trace &trace,
                 if (verdict == AdmissionVerdict::Reject) {
                     coordSlo.recordRejected(a.cls);
                     coordRejected += 1;
+                    cRejected.add(1);
+                    if (coordTr != nullptr) {
+                        coordTr->instant(
+                            "admission reject", 0, a.time,
+                            {"image",
+                             static_cast<std::int64_t>(idx)});
+                    }
                     decisions.note(
                         {a.time, DecisionKind::Reject, idx,
                          static_cast<std::uint64_t>(a.cls), 0});
@@ -1247,6 +1486,13 @@ ClusterEngine::runCoordinated(const Trace &trace,
                     // violation accounting (see ServingEngine's
                     // admitTimed).
                     coordSlo.recordDowngraded(a.cls);
+                    cDowngraded.add(1);
+                    if (coordTr != nullptr) {
+                        coordTr->instant(
+                            "admission downgrade", 0, a.time,
+                            {"image",
+                             static_cast<std::int64_t>(idx)});
+                    }
                     decisions.note(
                         {a.time, DecisionKind::Downgrade, idx,
                          static_cast<std::uint64_t>(a.cls), 0});
@@ -1286,12 +1532,24 @@ ClusterEngine::runCoordinated(const Trace &trace,
                 // the drop with the out-of-range sentinel replica `n`
                 // so replays still cover it.
                 lostImages += 1;
+                cLost.add(1);
+                if (coordTr != nullptr) {
+                    coordTr->instant(
+                        "route (lost)", 0, a.time,
+                        {"image", static_cast<std::int64_t>(idx)});
+                }
                 decisions.note({a.time, DecisionKind::Route, idx,
                                 static_cast<std::uint64_t>(n), 0});
                 continue;
             }
             decisions.note({a.time, DecisionKind::Route, idx,
                             static_cast<std::uint64_t>(r), 0});
+            if (coordTr != nullptr) {
+                coordTr->instant(
+                    "route", 0, a.time,
+                    {"image", static_cast<std::int64_t>(idx)},
+                    {"replica", static_cast<std::int64_t>(r)});
+            }
             engines[r]->admitArrival(a);
             // Execute the admission's dispatch now, so a same-time
             // burst of arrivals sees each predecessor in the queues
@@ -1308,6 +1566,8 @@ ClusterEngine::runCoordinated(const Trace &trace,
         }
     }
 
+    telem.host().add("coordinate", coordWall.elapsedMicros());
+    const WallTimer collectWall;
     std::vector<RunResult> results(n);
     std::int64_t images = 0;
     std::int64_t rejected = coordRejected;
@@ -1366,6 +1626,7 @@ ClusterEngine::runCoordinated(const Trace &trace,
         out.brownoutsInjected = brownouts;
     }
     appendSharedTierStats(out, sharedCpu.get());
+    telem.host().add("collect", collectWall.elapsedMicros());
     return out;
 }
 

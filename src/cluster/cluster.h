@@ -45,6 +45,7 @@
 #include "cluster/router.h"
 #include "core/coserve.h"
 #include "metrics/cluster_result.h"
+#include "obs/telemetry.h"
 #include "preempt/preempt.h"
 #include "replay/fault_plan.h"
 #include "workload/trace.h"
@@ -174,6 +175,13 @@ struct RunOptions
     std::string replayPath;
     /** Failures to inject, on the virtual clock (empty = clean run). */
     FaultPlan faults;
+    /**
+     * Deterministic observability (obs/telemetry.h): virtual-time span
+     * tracing to Chrome trace-event JSON, metrics-registry export and
+     * epoch sampling to CSV. Disabled by default — the null-sink path
+     * leaves every sim metric and decision digest byte-identical.
+     */
+    obs::TelemetryConfig telemetry;
 };
 
 /** @return options selecting @p mode (call-site convenience). */
@@ -299,7 +307,8 @@ class ClusterEngine
   private:
     /** Static clean path: route offline, shard, run concurrently. */
     ClusterResult runSharded(const Trace &trace,
-                             DecisionTrace &decisions);
+                             DecisionTrace &decisions,
+                             obs::Telemetry &telem);
     /**
      * Coordinator path: online mode always; static mode when a fault
      * plan needs the shared clock (routing pinned to the offline
@@ -308,7 +317,8 @@ class ClusterEngine
     ClusterResult runCoordinated(const Trace &trace,
                                  const RunOptions &opts,
                                  bool liveRouting,
-                                 DecisionTrace &decisions);
+                                 DecisionTrace &decisions,
+                                 obs::Telemetry &telem);
     /** Build the shared CPU tier when configured (else null). */
     std::unique_ptr<SharedCpuTier> makeSharedCpuTier() const;
     /** One router-facing view per replica, in replica order. */
@@ -319,7 +329,8 @@ class ClusterEngine
      * static and online modes.
      */
     std::unique_ptr<ServingEngine>
-    makeReplicaEngine(std::size_t i, SharedCpuTier *sharedCpu) const;
+    makeReplicaEngine(std::size_t i, SharedCpuTier *sharedCpu,
+                      obs::Telemetry &telem) const;
     /** Fold shared-tier counters into @p out once, cluster-level. */
     static void appendSharedTierStats(ClusterResult &out,
                                       const SharedCpuTier *tier);

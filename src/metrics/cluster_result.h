@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "metrics/run_result.h"
+#include "obs/metrics.h"
 
 namespace coserve {
 
@@ -163,6 +164,16 @@ struct ClusterResult
      * reporting.
      */
     double wallSeconds = 0.0;
+
+    /**
+     * Frozen metrics-registry snapshot (obs/metrics.h): the live
+     * counters the engines and the coordinator maintained during the
+     * run, plus the derived gauges exported at collection time.
+     * summarize() sources its cluster / SLO / tier sections from here
+     * (falling back to the struct fields when empty), and the obs
+     * reconciliation test asserts snapshot == legacy counters.
+     */
+    obs::MetricsSnapshot metrics;
 
     /**
      * Load-imbalance factor: max over replicas of images routed,

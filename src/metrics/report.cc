@@ -1,8 +1,10 @@
 #include "metrics/report.h"
 
+#include <cmath>
 #include <iostream>
 #include <sstream>
 
+#include "obs/metrics.h"
 #include "util/strutil.h"
 #include "util/table.h"
 #include "util/time.h"
@@ -11,46 +13,105 @@ namespace coserve {
 
 namespace {
 
+// Metric-snapshot value helpers: reports source their numbers from the
+// registry snapshot when one rides on the result (cluster runs), and
+// fall back to the legacy struct fields otherwise (standalone engines,
+// pre-obs callers). A key absent from a non-empty snapshot also falls
+// back, so static runs — whose coordinator counters were never
+// registered — print unchanged.
+
+std::int64_t
+snapInt(const obs::MetricsSnapshot *snap, const std::string &name,
+        std::int64_t fallback)
+{
+    if (snap == nullptr)
+        return fallback;
+    return static_cast<std::int64_t>(std::llround(
+        snap->value(name, static_cast<double>(fallback))));
+}
+
+double
+snapDouble(const obs::MetricsSnapshot *snap, const std::string &name,
+           double fallback)
+{
+    return snap == nullptr ? fallback : snap->value(name, fallback);
+}
+
 void
 appendSloLines(std::ostringstream &os, const SloStats &slo,
-               Time makespan)
+               Time makespan, const obs::MetricsSnapshot *snap)
 {
     // Gated on activity: classless runs print nothing here, keeping
     // pre-SLO output byte-identical.
     if (!slo.any())
         return;
-    os << "  SLO goodput " << formatDouble(slo.goodput(makespan), 1)
+    os << "  SLO goodput "
+       << formatDouble(snapDouble(snap, "slo.goodput_img_per_s",
+                                  slo.goodput(makespan)),
+                       1)
        << " img/s, violation rate "
-       << formatPercent(slo.violationRate()) << " (" << slo.sloMet()
-       << " met, " << slo.violated() << " violated, " << slo.rejected()
-       << " rejected, " << slo.downgraded() << " downgraded)\n";
+       << formatPercent(snapDouble(snap, "slo.violation_rate",
+                                   slo.violationRate()))
+       << " (" << snapInt(snap, "slo.met", slo.sloMet()) << " met, "
+       << snapInt(snap, "slo.violated", slo.violated()) << " violated, "
+       << snapInt(snap, "slo.rejected", slo.rejected()) << " rejected, "
+       << snapInt(snap, "slo.downgraded", slo.downgraded())
+       << " downgraded)\n";
     for (std::size_t i = 0; i < slo.perClass.size(); ++i) {
         const SloClassStats &c = slo.perClass[i];
         if (c.completed == 0 && c.rejected == 0 && c.downgraded == 0)
             continue;
-        os << "    class " << toString(static_cast<RequestClass>(i))
-           << ": " << c.completed << " done, p50/p95/p99 "
-           << formatDouble(c.latencyMs.quantile(0.50), 1) << "/"
-           << formatDouble(c.latencyMs.quantile(0.95), 1) << "/"
-           << formatDouble(c.latencyMs.quantile(0.99), 1) << " ms, "
-           << c.violated << " violated, " << c.rejected
-           << " rejected, " << c.downgraded << " downgraded\n";
+        const std::string cls =
+            toString(static_cast<RequestClass>(i));
+        const std::string p = "slo." + cls + ".";
+        os << "    class " << cls << ": "
+           << snapInt(snap, p + "completed", c.completed)
+           << " done, p50/p95/p99 "
+           << formatDouble(snapDouble(snap, p + "p50_ms",
+                                      c.latencyMs.quantile(0.50)),
+                           1)
+           << "/"
+           << formatDouble(snapDouble(snap, p + "p95_ms",
+                                      c.latencyMs.quantile(0.95)),
+                           1)
+           << "/"
+           << formatDouble(snapDouble(snap, p + "p99_ms",
+                                      c.latencyMs.quantile(0.99)),
+                           1)
+           << " ms, " << snapInt(snap, p + "violated", c.violated)
+           << " violated, " << snapInt(snap, p + "rejected", c.rejected)
+           << " rejected, "
+           << snapInt(snap, p + "downgraded", c.downgraded)
+           << " downgraded\n";
     }
 }
 
 void
 appendTierLines(std::ostringstream &os,
-                const std::vector<TierStats> &tiers)
+                const std::vector<TierStats> &tiers,
+                const obs::MetricsSnapshot *snap)
 {
     for (const TierStats &t : tiers) {
+        const std::string p = "tier." + t.name + ".";
+        const std::int64_t hits =
+            snapInt(snap, p + "hits", t.counters.hits);
+        const std::int64_t accesses =
+            snapInt(snap, p + "accesses",
+                    t.counters.hits + t.counters.misses);
+        const std::int64_t capacity =
+            snapInt(snap, p + "capacity_bytes", t.capacityBytes);
         os << "  tier " << t.name << " (" << t.level
            << (t.shared ? ", shared" : "") << "): hit rate "
-           << formatPercent(t.hitRate()) << " (" << t.counters.hits
-           << "/" << t.counters.hits + t.counters.misses << "), "
-           << t.counters.evictions << " evictions, "
-           << formatBytes(t.usedBytes) << " of "
-           << (t.capacityBytes > 0 ? formatBytes(t.capacityBytes)
-                                   : std::string("unbounded"))
+           << formatPercent(
+                  snapDouble(snap, p + "hit_rate", t.hitRate()))
+           << " (" << hits << "/" << accesses << "), "
+           << snapInt(snap, p + "evictions", t.counters.evictions)
+           << " evictions, "
+           << formatBytes(
+                  snapInt(snap, p + "used_bytes", t.usedBytes))
+           << " of "
+           << (capacity > 0 ? formatBytes(capacity)
+                            : std::string("unbounded"))
            << " used\n";
     }
 }
@@ -75,65 +136,120 @@ summarize(const RunResult &r)
        << formatDouble(r.requestLatencyMs.percentile(99), 1)
        << " ms, scheduling "
        << formatDouble(r.schedulingWallUs.mean(), 2) << " us/decision\n";
-    appendSloLines(os, r.slo, r.makespan);
-    appendTierLines(os, r.tiers);
+    appendSloLines(os, r.slo, r.makespan, nullptr);
+    appendTierLines(os, r.tiers, nullptr);
     return os.str();
 }
 
 std::string
 summarize(const ClusterResult &r)
 {
+    // Cluster runs carry the registry snapshot: the printed values are
+    // the registry's, so a counter that drifted from its legacy twin
+    // shows up here (and in the reconciliation test), not just in an
+    // exported file. Gates stay on the struct flags so section layout
+    // is untouched.
+    const obs::MetricsSnapshot *snap =
+        r.metrics.empty() ? nullptr : &r.metrics;
     std::ostringstream os;
-    os << r.label << " [" << r.routing << "]: " << r.images
-       << " images (" << r.inferences << " inferences) in "
-       << formatTime(r.makespan) << "\n";
-    os << "  throughput " << formatDouble(r.throughput, 1)
-       << " img/s, " << r.switches.total() << " expert switches, "
-       << "imbalance " << formatDouble(r.imbalance(), 2);
+    os << r.label << " [" << r.routing << "]: "
+       << snapInt(snap, "cluster.images", r.images) << " images ("
+       << snapInt(snap, "cluster.inferences", r.inferences)
+       << " inferences) in " << formatTime(r.makespan) << "\n";
+    os << "  throughput "
+       << formatDouble(
+              snapDouble(snap, "cluster.throughput", r.throughput), 1)
+       << " img/s, "
+       << snapInt(snap, "switch.loads_ssd", r.switches.loadsFromSsd) +
+              snapInt(snap, "switch.loads_cache",
+                      r.switches.loadsFromCache)
+       << " expert switches, " << "imbalance "
+       << formatDouble(
+              snapDouble(snap, "cluster.imbalance", r.imbalance()), 2);
     // Gated on the feature flag, not the counters: the autoscaler's
     // quiesce-evacuations also ride the steal machinery, and must not
     // print a steal section into stealing-off output.
-    if (r.workStealingEnabled && r.stolenRequests > 0)
-        os << ", " << r.stolenRequests << " requests stolen";
+    if (r.workStealingEnabled && r.stolenRequests > 0) {
+        os << ", "
+           << snapInt(snap, "cluster.stolen_requests",
+                      r.stolenRequests)
+           << " requests stolen";
+    }
     os << "\n";
     if (r.autoscaleEnabled) {
-        os << "  autoscale: " << r.autoscaleActivations
-           << " activations, " << r.autoscaleQuiesces << " quiesces, "
-           << r.autoscaleEvacuated << " requests evacuated, avg "
-           << formatDouble(r.avgActiveReplicas, 2)
+        os << "  autoscale: "
+           << snapInt(snap, "cluster.autoscale_activations",
+                      r.autoscaleActivations)
+           << " activations, "
+           << snapInt(snap, "cluster.autoscale_quiesces",
+                      r.autoscaleQuiesces)
+           << " quiesces, "
+           << snapInt(snap, "cluster.autoscale_evacuated",
+                      r.autoscaleEvacuated)
+           << " requests evacuated, avg "
+           << formatDouble(snapDouble(snap,
+                                      "cluster.avg_active_replicas",
+                                      r.avgActiveReplicas),
+                           2)
            << " active replicas\n";
     }
     // Gated on the preemption flag like the steal/autoscale sections:
     // legacy (preemption-off) reports stay byte-identical.
     if (r.preemptionEnabled) {
-        os << "  preemption: " << r.preemptions
-           << " deadline rescues, " << r.checkpointedGroups
-           << " groups checkpointed / " << r.restoredGroups
-           << " restored, " << formatBytes(r.checkpointBytes)
+        os << "  preemption: "
+           << snapInt(snap, "preempt.rescues", r.preemptions)
+           << " deadline rescues, "
+           << snapInt(snap, "preempt.checkpointed_groups",
+                      r.checkpointedGroups)
+           << " groups checkpointed / "
+           << snapInt(snap, "preempt.restored_groups",
+                      r.restoredGroups)
+           << " restored, "
+           << formatBytes(snapInt(snap, "preempt.checkpoint_bytes",
+                                  r.checkpointBytes))
            << " of state moved";
         if (r.migratedGroups > 0) {
-            os << ", " << r.migratedGroups << " groups ("
-               << r.migratedRequests << " requests) migrated";
+            os << ", "
+               << snapInt(snap, "cluster.migrated_groups",
+                          r.migratedGroups)
+               << " groups ("
+               << snapInt(snap, "cluster.migrated_requests",
+                          r.migratedRequests)
+               << " requests) migrated";
         }
         os << "\n";
         if (r.quiesceDrains > 0) {
-            os << "  quiesce drain: " << r.quiesceDrains
-               << " completed, avg "
-               << formatTime(r.quiesceDrainTotal / r.quiesceDrains)
-               << ", max " << formatTime(r.quiesceDrainMax) << "\n";
+            const std::int64_t drains = snapInt(
+                snap, "cluster.quiesce_drains", r.quiesceDrains);
+            os << "  quiesce drain: " << drains << " completed, avg "
+               << formatTime(snapInt(snap,
+                                     "cluster.quiesce_drain_total_ns",
+                                     r.quiesceDrainTotal) /
+                             drains)
+               << ", max "
+               << formatTime(snapInt(snap,
+                                     "cluster.quiesce_drain_max_ns",
+                                     r.quiesceDrainMax))
+               << "\n";
         }
     }
     // Like the steal/autoscale sections: gated on fault activity, so
     // clean runs keep their pre-fault-injection output byte-identical.
     if (r.faultsInjected) {
-        os << "  faults: " << r.crashesInjected << " crash"
-           << (r.crashesInjected == 1 ? "" : "es") << " ("
-           << r.crashRehomed << " requests re-homed, " << r.crashLost
-           << " lost), " << r.stragglersInjected
-           << " straggler + " << r.brownoutsInjected
+        const std::int64_t crashes =
+            snapInt(snap, "cluster.crashes", r.crashesInjected);
+        os << "  faults: " << crashes << " crash"
+           << (crashes == 1 ? "" : "es") << " ("
+           << snapInt(snap, "cluster.crash_rehomed", r.crashRehomed)
+           << " requests re-homed, "
+           << snapInt(snap, "cluster.crash_lost", r.crashLost)
+           << " lost), "
+           << snapInt(snap, "cluster.stragglers", r.stragglersInjected)
+           << " straggler + "
+           << snapInt(snap, "cluster.brownouts", r.brownoutsInjected)
            << " brownout windows\n";
     }
-    appendSloLines(os, r.slo, r.makespan);
+    appendSloLines(os, r.slo, r.makespan, snap);
     for (std::size_t i = 0; i < r.replicas.size(); ++i) {
         const RunResult &rep = r.replicas[i];
         os << "  replica " << i << ": " << rep.images << " images, "
@@ -149,7 +265,7 @@ summarize(const ClusterResult &r)
         }
         os << "\n";
     }
-    appendTierLines(os, r.tiers);
+    appendTierLines(os, r.tiers, snap);
     return os.str();
 }
 
@@ -198,6 +314,75 @@ void
 printComparison(const std::vector<RunResult> &results)
 {
     printComparison(results, std::cout);
+}
+
+void
+exportClusterMetrics(const ClusterResult &r,
+                     obs::MetricsRegistry &registry)
+{
+    const auto setGauge = [&registry](const std::string &name,
+                                      double v) {
+        registry.gauge(name).set(v);
+    };
+    setGauge("cluster.throughput", r.throughput);
+    setGauge("cluster.makespan_ns", static_cast<double>(r.makespan));
+    setGauge("cluster.imbalance", r.imbalance());
+    setGauge("cluster.events_executed",
+             static_cast<double>(r.eventsExecuted));
+    setGauge("cluster.decision_count",
+             static_cast<double>(r.decisionCount));
+    setGauge("cluster.wall_seconds", r.wallSeconds);
+    if (r.autoscaleEnabled) {
+        setGauge("cluster.avg_active_replicas", r.avgActiveReplicas);
+    }
+    if (r.preemptionEnabled) {
+        setGauge("cluster.quiesce_drain_total_ns",
+                 static_cast<double>(r.quiesceDrainTotal));
+        setGauge("cluster.quiesce_drain_max_ns",
+                 static_cast<double>(r.quiesceDrainMax));
+    }
+    if (r.slo.any()) {
+        setGauge("slo.goodput_img_per_s", r.slo.goodput(r.makespan));
+        setGauge("slo.violation_rate", r.slo.violationRate());
+        setGauge("slo.met", static_cast<double>(r.slo.sloMet()));
+        setGauge("slo.violated",
+                 static_cast<double>(r.slo.violated()));
+        setGauge("slo.rejected",
+                 static_cast<double>(r.slo.rejected()));
+        setGauge("slo.downgraded",
+                 static_cast<double>(r.slo.downgraded()));
+        for (std::size_t i = 0; i < r.slo.perClass.size(); ++i) {
+            const SloClassStats &c = r.slo.perClass[i];
+            if (c.completed == 0 && c.rejected == 0 &&
+                c.downgraded == 0)
+                continue;
+            const std::string p =
+                std::string("slo.") +
+                toString(static_cast<RequestClass>(i)) + ".";
+            setGauge(p + "completed",
+                     static_cast<double>(c.completed));
+            setGauge(p + "p50_ms", c.latencyMs.quantile(0.50));
+            setGauge(p + "p95_ms", c.latencyMs.quantile(0.95));
+            setGauge(p + "p99_ms", c.latencyMs.quantile(0.99));
+            setGauge(p + "violated", static_cast<double>(c.violated));
+            setGauge(p + "rejected", static_cast<double>(c.rejected));
+            setGauge(p + "downgraded",
+                     static_cast<double>(c.downgraded));
+        }
+    }
+    for (const TierStats &t : r.tiers) {
+        const std::string p = "tier." + t.name + ".";
+        setGauge(p + "hit_rate", t.hitRate());
+        setGauge(p + "hits", static_cast<double>(t.counters.hits));
+        setGauge(p + "accesses",
+                 static_cast<double>(t.counters.hits +
+                                     t.counters.misses));
+        setGauge(p + "evictions",
+                 static_cast<double>(t.counters.evictions));
+        setGauge(p + "used_bytes", static_cast<double>(t.usedBytes));
+        setGauge(p + "capacity_bytes",
+                 static_cast<double>(t.capacityBytes));
+    }
 }
 
 } // namespace coserve

@@ -18,6 +18,10 @@
 
 namespace coserve {
 
+namespace obs {
+class MetricsRegistry; // obs/metrics.h
+}
+
 /** Render one run as a multi-line summary (throughput, switches...). */
 std::string summarize(const RunResult &result);
 
@@ -42,6 +46,17 @@ void printComparison(const std::vector<RunResult> &results,
 
 /** Convenience overload writing to stdout. */
 void printComparison(const std::vector<RunResult> &results);
+
+/**
+ * Export the derived cluster metrics (throughput, makespan, SLO
+ * aggregates and per-class quantiles, per-tier counters, autoscale /
+ * quiesce-drain values) as gauges into @p registry, under the keys
+ * summarize() reads back from the result's snapshot. Live counters
+ * (cluster.images, switch.*, preempt.*, the coordinator's cluster.*)
+ * are not exported here — they were maintained during the run.
+ */
+void exportClusterMetrics(const ClusterResult &result,
+                          obs::MetricsRegistry &registry);
 
 } // namespace coserve
 

@@ -27,6 +27,11 @@ namespace coserve {
 
 class TierBelow; // runtime/memory_tier.h
 
+namespace obs {
+class MetricsRegistry; // obs/metrics.h
+class ReplicaTracer;   // obs/trace.h
+} // namespace obs
+
 /** Memory layout of one inference executor. */
 struct ExecutorConfig
 {
@@ -55,6 +60,22 @@ struct EngineConfig
      * outlive the engine). Overrides cpuCacheTier / cpuCacheBytes.
      */
     TierBelow *externalCpuTier = nullptr;
+
+    /**
+     * Cluster-owned metrics registry (obs/metrics.h; not owned, must
+     * outlive the engine). When set, the engine increments live
+     * counters at the same sites that maintain its RunResult fields.
+     * Null for standalone engines — every metrics site is a single
+     * predictable branch.
+     */
+    obs::MetricsRegistry *metrics = nullptr;
+
+    /**
+     * Per-replica span-trace buffer (obs/trace.h; not owned). Null
+     * unless the run has telemetry enabled — the null-sink fast path
+     * keeps disabled runs byte-identical.
+     */
+    obs::ReplicaTracer *tracer = nullptr;
 
     /**
      * SLO admission control (slo/admission.h): when enabled, an

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/walltime.h"
@@ -101,6 +103,36 @@ ServingEngine::ServingEngine(EngineConfig cfg, const CoEModel &model,
             ec.kind == ProcKind::GPU ? *gpuPool_ : *cpuPool_;
         executors_.push_back(std::make_unique<Executor>(
             *this, static_cast<int>(i), std::move(name), ec, pool));
+    }
+
+    // Live metrics handles: registered once here, incremented
+    // lock-free at the sites that maintain the result_ fields.
+    if (cfg_.metrics != nullptr) {
+        obs::MetricsRegistry &m = *cfg_.metrics;
+        mImages_ = &m.counter("cluster.images");
+        mInferences_ = &m.counter("cluster.inferences");
+        mLoadsSsd_ = &m.counter("switch.loads_ssd");
+        mLoadsCache_ = &m.counter("switch.loads_cache");
+        mPrefetchLoads_ = &m.counter("switch.prefetch_loads");
+        mEvictions_ = &m.counter("switch.evictions");
+        mDemotions_ = &m.counter("switch.demotions");
+        mBytesLoaded_ = &m.counter("switch.bytes_loaded");
+        mPreemptions_ = &m.counter("preempt.rescues");
+        mCheckpointedGroups_ =
+            &m.counter("preempt.checkpointed_groups");
+        mRestoredGroups_ = &m.counter("preempt.restored_groups");
+        mCheckpointBytes_ = &m.counter("preempt.checkpoint_bytes");
+    }
+
+    // Perfetto naming: this replica is a process, executors are its
+    // threads (tid i+1); tid 0 carries engine-level control events.
+    if (cfg_.tracer != nullptr) {
+        cfg_.tracer->setProcessName(cfg_.label);
+        cfg_.tracer->setThreadName(0, "engine");
+        for (std::size_t i = 0; i < executors_.size(); ++i) {
+            cfg_.tracer->setThreadName(static_cast<std::int32_t>(i) + 1,
+                                       executors_[i]->name());
+        }
     }
 }
 
@@ -263,8 +295,13 @@ ServingEngine::startLoad(Executor &exec, ExpertId e, bool isPrefetch)
                 peer->clearSoftPinIf(*victim);
         }
         sc.evictions += 1;
-        if (demoted)
+        if (mEvictions_)
+            mEvictions_->add(1);
+        if (demoted) {
             sc.demotions += 1;
+            if (mDemotions_)
+                mDemotions_->add(1);
+        }
     }
 
     pool.noteMiss();
@@ -283,21 +320,38 @@ ServingEngine::startLoad(Executor &exec, ExpertId e, bool isPrefetch)
                                : cacheResident;
     if (fromCache) {
         sc.loadsFromCache += 1;
+        if (mLoadsCache_)
+            mLoadsCache_->add(1);
         if (!cacheResident) {
             // GPU load adopted from a CPU executor pool's DRAM copy.
             cpuPool_->noteHit();
         }
     } else {
         sc.loadsFromSsd += 1;
+        if (mLoadsSsd_)
+            mLoadsSsd_->add(1);
         if (cpuTier_->enabled())
             cpuTier_->noteMiss();
         disk_.noteHit();
     }
-    if (isPrefetch)
+    if (isPrefetch) {
         sc.prefetchLoads += 1;
+        if (mPrefetchLoads_)
+            mPrefetchLoads_->add(1);
+    }
     sc.bytesLoaded += bytes;
+    if (mBytesLoaded_)
+        mBytesLoaded_->add(bytes);
+    const Time loadStart = eq_.now();
 
-    auto finish = [this, &exec, e, bytes, fromCache, isPrefetch]() {
+    auto finish = [this, &exec, e, bytes, fromCache, isPrefetch,
+                   loadStart]() {
+        if (cfg_.tracer != nullptr) {
+            cfg_.tracer->span(
+                fromCache ? "load cpu-dram" : "load ssd",
+                exec.index() + 1, loadStart, eq_.now(), {"expert", e},
+                {"prefetch", isPrefetch ? 1 : 0});
+        }
         // Loads from SSD pass through CPU DRAM for deserialization;
         // the materialized copy stays in the cache tier when present.
         if (!fromCache && cpuTier_->enabled())
@@ -344,6 +398,8 @@ ServingEngine::onInferenceComplete(Executor &exec, const Request &req,
 {
     (void)exec;
     result_.inferences += 1;
+    if (mInferences_)
+        mInferences_->add(1);
     result_.inferenceLatencyMs.add(toMilliseconds(batchLatency));
     result_.requestLatencyMs.add(toMilliseconds(eq_.now() - req.arrival));
 
@@ -352,6 +408,8 @@ ServingEngine::onInferenceComplete(Executor &exec, const Request &req,
                            comp.detector == kNoExpert;
     if (chainEnds) {
         imagesDone_ += 1;
+        if (mImages_)
+            mImages_->add(1);
         lastCompletion_ = std::max(lastCompletion_, eq_.now());
         if (sloTracked(req.cls)) {
             result_.slo.recordCompletion(
@@ -374,6 +432,13 @@ ServingEngine::onInferenceComplete(Executor &exec, const Request &req,
     child.cls = req.cls;
     child.deadline = req.deadline;
     child.imageArrival = req.imageArrival;
+    // Parent/child link: a flow arrow from the classify completion to
+    // the detect child's batch start (the matching 'f' endpoint is
+    // emitted by the executor when the child begins executing).
+    if (cfg_.tracer != nullptr) {
+        cfg_.tracer->flow("detect chain", exec.index() + 1, eq_.now(),
+                          child.imageId, /*start=*/true);
+    }
     dispatchTimed(child);
 }
 
@@ -419,6 +484,10 @@ ServingEngine::admitTimed(Request req)
         if (verdict == AdmissionVerdict::Reject) {
             result_.slo.recordRejected(req.cls);
             imagesRejected_ += 1;
+            if (cfg_.tracer != nullptr) {
+                cfg_.tracer->instant("admission reject", 0, eq_.now(),
+                                     {"image", req.imageId});
+            }
             return;
         }
         if (verdict == AdmissionVerdict::Downgrade) {
@@ -429,6 +498,11 @@ ServingEngine::admitTimed(Request req)
             // straggler as met.
             result_.slo.recordDowngraded(req.cls);
             req.cls = RequestClass::BestEffort;
+            if (cfg_.tracer != nullptr) {
+                cfg_.tracer->instant("admission downgrade", 0,
+                                     eq_.now(),
+                                     {"image", req.imageId});
+            }
         }
     }
     dispatchTimed(req);
@@ -626,16 +700,22 @@ ServingEngine::collectResult()
         result_.executors.push_back(std::move(st));
     }
 
+    appendTierStats(result_.tiers);
+    return result_;
+}
+
+void
+ServingEngine::appendTierStats(std::vector<TierStats> &out) const
+{
     // Per-tier counters, top to bottom. A cluster-shared CPU tier is
     // owned (and reported) by the cluster, not by this engine.
     if (gpuPool_)
-        result_.tiers.push_back(gpuPool_->stats());
+        out.push_back(gpuPool_->stats());
     if (cpuPool_)
-        result_.tiers.push_back(cpuPool_->stats());
+        out.push_back(cpuPool_->stats());
     if (cfg_.externalCpuTier == nullptr && cpuCache_.enabled())
-        result_.tiers.push_back(cpuCache_.stats());
-    result_.tiers.push_back(disk_.stats());
-    return result_;
+        out.push_back(cpuCache_.stats());
+    out.push_back(disk_.stats());
 }
 
 // ------------------------------ cluster-level online coordination API
@@ -713,6 +793,41 @@ ServingEngine::fillLoadView(ReplicaLoadView &out) const
     // Pool iteration order is unspecified (hash map); sort so the view
     // is deterministic and resident() can binary-search.
     std::sort(out.residentExperts.begin(), out.residentExperts.end());
+}
+
+std::int64_t
+ServingEngine::queuedRequestCount() const
+{
+    std::int64_t depth = 0;
+    for (const auto &exec : executors_)
+        depth += static_cast<std::int64_t>(exec->queue().size());
+    return depth;
+}
+
+void
+ServingEngine::sampleHitCounters(std::int64_t &gpuHits,
+                                 std::int64_t &gpuMisses,
+                                 std::int64_t &cpuHits,
+                                 std::int64_t &cpuMisses) const
+{
+    // Same tier set as appendTierStats(); a cluster-shared CPU tier
+    // is accounted by the cluster, and the disk tier never feeds the
+    // gpu/cpu-dram hit rates.
+    const auto add = [&](TierLevel level, const TierCounters &c) {
+        if (level == TierLevel::Gpu) {
+            gpuHits += c.hits;
+            gpuMisses += c.misses;
+        } else if (level == TierLevel::CpuDram) {
+            cpuHits += c.hits;
+            cpuMisses += c.misses;
+        }
+    };
+    if (gpuPool_)
+        add(gpuPool_->level(), gpuPool_->counters());
+    if (cpuPool_)
+        add(cpuPool_->level(), cpuPool_->counters());
+    if (cfg_.externalCpuTier == nullptr && cpuCache_.enabled())
+        add(cpuCache_.level(), cpuCache_.counters());
 }
 
 std::size_t
@@ -865,14 +980,26 @@ ServingEngine::chargeCheckpointTransfer(const Executor &exec,
                                         EventQueue::Callback done)
 {
     result_.checkpointBytes += bytes;
+    if (mCheckpointBytes_)
+        mCheckpointBytes_->add(bytes);
+    const Time start = eq_.now();
+    Time doneAt;
     if (cpuTier_->enabled()) {
-        if (exec.kind() == ProcKind::GPU)
-            return link_->transfer(bytes, std::move(done));
-        return eq_
-            .scheduleAfter(cfg_.device.linkFixedLatency, std::move(done))
-            .when;
+        if (exec.kind() == ProcKind::GPU) {
+            doneAt = link_->transfer(bytes, std::move(done));
+        } else {
+            doneAt = eq_.scheduleAfter(cfg_.device.linkFixedLatency,
+                                        std::move(done))
+                          .when;
+        }
+    } else {
+        doneAt = storage_->transfer(bytes, std::move(done));
     }
-    return storage_->transfer(bytes, std::move(done));
+    if (cfg_.tracer != nullptr) {
+        cfg_.tracer->span("checkpoint transfer", exec.index() + 1,
+                          start, doneAt, {"bytes", bytes});
+    }
+    return doneAt;
 }
 
 void
@@ -880,6 +1007,8 @@ ServingEngine::onGroupCheckpointed(Executor &exec, CheckpointImage img,
                                    bool migrateOut)
 {
     result_.checkpointedGroups += 1;
+    if (mCheckpointedGroups_)
+        mCheckpointedGroups_->add(1);
     if (online_) {
         preemptEvents_.push_back(
             {eq_.now(),
@@ -888,11 +1017,21 @@ ServingEngine::onGroupCheckpointed(Executor &exec, CheckpointImage img,
              exec.index(),
              static_cast<std::uint64_t>(img.requests.size())});
     }
+    if (cfg_.tracer != nullptr) {
+        cfg_.tracer->instant(
+            migrateOut ? "checkpoint (migrate-out)"
+                       : "checkpoint (rescue)",
+            exec.index() + 1, eq_.now(),
+            {"requests",
+             static_cast<std::int64_t>(img.requests.size())});
+    }
     if (migrateOut) {
         migrateOutbox_.push_back(std::move(img));
         return;
     }
     result_.preemptions += 1;
+    if (mPreemptions_)
+        mPreemptions_->add(1);
     exec.adoptCheckpoint(std::move(img));
 }
 
@@ -900,10 +1039,16 @@ void
 ServingEngine::onGroupRestored(Executor &exec, int requests)
 {
     result_.restoredGroups += 1;
+    if (mRestoredGroups_)
+        mRestoredGroups_->add(1);
     if (online_) {
         preemptEvents_.push_back({eq_.now(), PreemptEvent::What::Restore,
                                   exec.index(),
                                   static_cast<std::uint64_t>(requests)});
+    }
+    if (cfg_.tracer != nullptr) {
+        cfg_.tracer->instant("restore", exec.index() + 1, eq_.now(),
+                             {"requests", requests});
     }
 }
 
@@ -915,6 +1060,8 @@ ServingEngine::captureCheckpoints(std::vector<CheckpointImage> &out)
         const std::size_t mark = out.size();
         if (exec->checkpointRunning(out) > 0) {
             result_.checkpointedGroups += 1;
+            if (mCheckpointedGroups_)
+                mCheckpointedGroups_->add(1);
             if (online_) {
                 preemptEvents_.push_back(
                     {eq_.now(), PreemptEvent::What::Checkpoint,

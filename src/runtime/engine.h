@@ -31,6 +31,10 @@
 
 namespace coserve {
 
+namespace obs {
+class Counter; // obs/metrics.h
+} // namespace obs
+
 /**
  * Live load snapshot of one serving engine, exposed to cluster-level
  * routers (cluster/router.h) in online-routing mode: what a replica is
@@ -177,6 +181,24 @@ class ServingEngine
 
     /** Fill @p out with a live load snapshot (buffers reused). */
     void fillLoadView(ReplicaLoadView &out) const;
+
+    /**
+     * Total requests queued across this engine's executors — the
+     * epoch sampler's cheap load probe. Unlike fillLoadView() this
+     * does no sorting and no pool walks, so observing a replica
+     * costs O(executors) per sample.
+     */
+    std::int64_t queuedRequestCount() const;
+
+    /**
+     * Accumulate this engine's GPU and CPU-DRAM hit/miss counters —
+     * the numbers behind appendTierStats()'s hit rates, without
+     * building TierStats rows (two string copies each) per sample.
+     */
+    void sampleHitCounters(std::int64_t &gpuHits,
+                           std::int64_t &gpuMisses,
+                           std::int64_t &cpuHits,
+                           std::int64_t &cpuMisses) const;
 
     /**
      * Work stealing (victim side): remove up to @p maxCount
@@ -358,6 +380,17 @@ class ServingEngine
     /** @return the usage profile. */
     const UsageProfile &usage() const { return usage_; }
 
+    /** @return this replica's span-trace buffer; null when untraced. */
+    obs::ReplicaTracer *tracer() const { return cfg_.tracer; }
+
+    /**
+     * Append live per-tier statistics (GPU pool, CPU pool, private
+     * cache tier, disk) to @p out — the same rows collectResult()
+     * reports at end of run, readable mid-run by the epoch sampler.
+     * Pure observation: never steps the engine.
+     */
+    void appendTierStats(std::vector<TierStats> &out) const;
+
     // ----- API for Executor ------------------------------------------
 
     /**
@@ -502,6 +535,24 @@ class ServingEngine
     bool online_ = false;
     /** True once crashDrain() ran (fault injection). */
     bool crashed_ = false;
+
+    // Live metrics handles, cached once from cfg_.metrics at
+    // construction (all null for standalone engines — each site is a
+    // single predictable branch). Incremented at exactly the sites
+    // that maintain the corresponding result_ fields, so the cluster
+    // reconciliation test can catch drift in either direction.
+    obs::Counter *mImages_ = nullptr;
+    obs::Counter *mInferences_ = nullptr;
+    obs::Counter *mLoadsSsd_ = nullptr;
+    obs::Counter *mLoadsCache_ = nullptr;
+    obs::Counter *mPrefetchLoads_ = nullptr;
+    obs::Counter *mEvictions_ = nullptr;
+    obs::Counter *mDemotions_ = nullptr;
+    obs::Counter *mBytesLoaded_ = nullptr;
+    obs::Counter *mPreemptions_ = nullptr;
+    obs::Counter *mCheckpointedGroups_ = nullptr;
+    obs::Counter *mRestoredGroups_ = nullptr;
+    obs::Counter *mCheckpointBytes_ = nullptr;
 
     RunResult result_;
 };

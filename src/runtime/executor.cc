@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "runtime/engine.h"
 #include "slo/request_class.h"
 #include "util/logging.h"
@@ -151,6 +152,21 @@ Executor::startBatch(ExpertId e)
     // the in-flight requests for re-homing.
     runningBatch_ = std::move(batchScratch_);
 
+    // Span tracing: one queue-wait span per request (arrival to batch
+    // start), and the 'f' endpoint of the detect-chain flow arrow for
+    // children spawned by a classify completion.
+    if (obs::ReplicaTracer *tracer = engine_.tracer()) {
+        const std::int32_t tid = index_ + 1;
+        for (const Request &req : runningBatch_) {
+            tracer->span("queue wait", tid, req.arrival, engine_.now(),
+                         {"image", req.imageId});
+            if (req.stage == Stage::Detect) {
+                tracer->flow("detect chain", tid, engine_.now(),
+                             req.imageId, /*start=*/false);
+            }
+        }
+    }
+
     // Preemption bookkeeping: where this segment is in virtual time
     // and at what per-image step boundaries it could pause.
     runningExpert_ = e;
@@ -173,6 +189,16 @@ Executor::scheduleCompletion(ExpertId e, Time segLatency,
 {
     completionEvent_ = engine_.eventQueue().scheduleAfter(
         segLatency, [this, e, metricLatency]() {
+            // The batch span must be emitted before any completion work:
+            // completions can start a nested batch on this executor,
+            // which overwrites batchStart_.
+            if (obs::ReplicaTracer *tracer = engine_.tracer()) {
+                tracer->span(
+                    "batch", index_ + 1, batchStart_, engine_.now(),
+                    {"expert", e},
+                    {"size", static_cast<std::int64_t>(
+                                 runningBatch_.size())});
+            }
             executing_ = false;
             runningExpert_ = kNoExpert;
             pool_.unpin(e);

@@ -287,6 +287,13 @@ class MemoryTier : public TierBelow
     /** @return number of evictions performed on this tier. */
     std::int64_t evictions() const { return counters_.evictions; }
 
+    /**
+     * Live hit/miss/eviction counters — the string-free view of the
+     * same numbers stats() reports, for per-sample readers like the
+     * epoch sampler.
+     */
+    const TierCounters &counters() const { return counters_; }
+
     // ----- TierBelow ------------------------------------------------
 
     const std::string &name() const override { return name_; }

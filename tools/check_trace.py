@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON artifact (Perfetto-loadable).
+
+Checks the schema essentials the viewers rely on:
+
+- the top-level object has a non-empty ``traceEvents`` array;
+- every event carries ``ph``, ``ts``, ``pid``, ``tid`` and ``name``;
+- ``ph`` is one of the phases the tracer emits ('X' complete span,
+  'i' instant, 's'/'f' flow arrows, 'M' metadata);
+- 'X' events carry a non-negative ``dur``;
+- timestamps and ids are numbers, names are non-empty strings.
+
+Exit 0 when the trace is well-formed, 1 otherwise (with one line per
+violation). stdlib only — runs anywhere CI has a python3.
+
+Usage: check_trace.py TRACE.json
+"""
+
+import json
+import sys
+
+REQUIRED = ("ph", "ts", "pid", "tid", "name")
+KNOWN_PHASES = {"X", "i", "s", "f", "M"}
+
+
+def check(path: str) -> int:
+    try:
+        with open(path) as f:
+            trace = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"{path}: unreadable or not JSON: {e}")
+        return 1
+
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        print(f"{path}: missing top-level 'traceEvents' object key")
+        return 1
+    events = trace["traceEvents"]
+    if not isinstance(events, list) or not events:
+        print(f"{path}: 'traceEvents' must be a non-empty array")
+        return 1
+
+    errors = 0
+
+    def bad(i: int, msg: str) -> None:
+        nonlocal errors
+        errors += 1
+        if errors <= 20:
+            print(f"{path}: event {i}: {msg}")
+
+    phases = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            bad(i, "not an object")
+            continue
+        missing = [k for k in REQUIRED if k not in ev]
+        if missing:
+            bad(i, f"missing required field(s) {missing}")
+            continue
+        ph = ev["ph"]
+        if ph not in KNOWN_PHASES:
+            bad(i, f"unknown phase {ph!r}")
+        phases[ph] = phases.get(ph, 0) + 1
+        if not isinstance(ev["ts"], (int, float)):
+            bad(i, f"non-numeric ts {ev['ts']!r}")
+        for k in ("pid", "tid"):
+            if not isinstance(ev[k], int):
+                bad(i, f"non-integer {k} {ev[k]!r}")
+        if not isinstance(ev["name"], str) or not ev["name"]:
+            bad(i, f"empty or non-string name {ev['name']!r}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                bad(i, f"'X' span with bad dur {dur!r}")
+
+    if errors > 20:
+        print(f"{path}: ... and {errors - 20} more violation(s)")
+    if errors:
+        return 1
+    summary = ", ".join(f"{n} '{p}'" for p, n in sorted(phases.items()))
+    print(f"{path}: OK — {len(events)} events ({summary})")
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        print(__doc__.strip().splitlines()[-1])
+        sys.exit(2)
+    sys.exit(check(sys.argv[1]))

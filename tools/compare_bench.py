@@ -1,13 +1,13 @@
 #!/usr/bin/env python3
 """Compare a BENCH_perf.json run against the committed baseline.
 
-Warns (never fails) when a scenario's events_per_sec regresses by more
-than the threshold vs. bench/BENCH_baseline.json — CI machines are too
-noisy for a hard perf gate, but a >25% drop on every scenario is worth
-a look. Emits GitHub Actions ``::warning::`` annotations so the drop is
-visible on the workflow run without breaking the build.
+**Fails** (exit 1) when a scenario's events_per_sec regresses by more
+than the threshold vs. bench/BENCH_baseline.json. The default threshold
+is generous (25%) because CI machines are noisy, but a drop past it is
+a real regression, not noise — the gate is hard. Emits GitHub Actions
+``::error::`` annotations so the drop is visible on the workflow run.
 
-Three additional gates:
+Additional gates:
 
 - ``--require NAME`` (repeatable, warn-only) insists that a scenario is
   present in both files — e.g. ``--require cluster_4x`` keeps the
@@ -24,6 +24,16 @@ Three additional gates:
   stale allow comments — **fails** (exit 1): a baseline refresh that
   launders a nondeterministic change past the digest gate must first
   get past the determinism linter.
+- ``--telemetry-pair ON:OFF`` (repeatable) compares two scenarios of
+  CURRENT against each other: ON is the telemetry-enabled variant of
+  OFF, and the gate **fails** (exit 1) when tracing overhead
+  ``(off - on) / off`` exceeds ``--telemetry-threshold`` (default 5%).
+  This keeps the observability layer honest about its "<5% events/s"
+  promise without a host-speed-dependent absolute number.
+- ``--trend DIR`` prints the per-scenario events_per_sec trajectory
+  over the history snapshots in DIR (``*.json``, sorted by filename —
+  bench/history uses date-stamped names), so a slow drift that never
+  trips the single-run threshold is still visible. Informational only.
 
 ``--update-baseline`` rewrites BASELINE from CURRENT (the sanctioned
 way to refresh after an intentional simulation change). It refuses to
@@ -32,11 +42,51 @@ that breaks the determinism rules cannot also bless its own digests.
 
 Usage: compare_bench.py BASELINE CURRENT [--threshold 0.25]
        [--require SCENARIO]... [--detlint FILE] [--update-baseline]
+       [--telemetry-pair ON:OFF]... [--telemetry-threshold 0.05]
+       [--trend DIR]
 """
 
 import argparse
+import glob
 import json
+import os
 import sys
+
+
+def print_trend(trend_dir: str, current: dict) -> None:
+    """Per-scenario events/s trajectory over history snapshots."""
+    paths = sorted(glob.glob(os.path.join(trend_dir, "*.json")))
+    if not paths:
+        print(f"trend: no snapshots under {trend_dir}")
+        return
+    snaps = []
+    for path in paths:
+        try:
+            with open(path) as f:
+                snaps.append((os.path.basename(path), json.load(f)))
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"::warning::trend: skipping {path}: {e}")
+    scenarios = sorted(
+        {s for _, snap in snaps for s in snap} | set(current)
+    )
+    print(f"trend over {len(snaps)} snapshot(s) in {trend_dir} "
+          f"(+ current):")
+    for scenario in scenarios:
+        points = []
+        for name, snap in snaps:
+            eps = snap.get(scenario, {}).get("events_per_sec")
+            if eps is not None:
+                points.append((name, eps))
+        cur_eps = current.get(scenario, {}).get("events_per_sec")
+        if cur_eps is not None:
+            points.append(("current", cur_eps))
+        if not points:
+            continue
+        first = points[0][1]
+        path_str = " -> ".join(f"{eps:,.0f}" for _, eps in points)
+        overall = (points[-1][1] - first) / first if first else 0.0
+        print(f"  {scenario}: {path_str} ({overall:+.1%} since "
+              f"{points[0][0]})")
 
 
 def main() -> int:
@@ -47,7 +97,26 @@ def main() -> int:
         "--threshold",
         type=float,
         default=0.25,
-        help="warn when events/sec drops by more than this fraction",
+        help="fail when events/sec drops by more than this fraction",
+    )
+    parser.add_argument(
+        "--telemetry-pair",
+        action="append",
+        default=[],
+        metavar="ON:OFF",
+        help="scenario pair in CURRENT; fail when the ON variant is "
+        "more than --telemetry-threshold slower than OFF (repeatable)",
+    )
+    parser.add_argument(
+        "--telemetry-threshold",
+        type=float,
+        default=0.05,
+        help="maximum tolerated telemetry events/sec overhead",
+    )
+    parser.add_argument(
+        "--trend",
+        metavar="DIR",
+        help="print events/sec trajectory over DIR/*.json snapshots",
     )
     parser.add_argument(
         "--require",
@@ -76,6 +145,7 @@ def main() -> int:
 
     warnings = 0
     determinism_failures = 0
+    perf_failures = 0
 
     detlint_violations = []
     if args.detlint:
@@ -148,11 +218,11 @@ def main() -> int:
             delta = (cur_eps - base_eps) / base_eps
             marker = ""
             if delta < -args.threshold:
-                print(f"::warning::perf regression in '{scenario}': "
+                print(f"::error::perf regression in '{scenario}': "
                       f"{cur_eps:,.0f} events/s vs baseline "
                       f"{base_eps:,.0f} ({delta:+.1%}, threshold "
                       f"-{args.threshold:.0%})")
-                warnings += 1
+                perf_failures += 1
                 marker = "  <-- regression"
             print(f"{scenario}: {cur_eps:,.0f} events/s "
                   f"(baseline {base_eps:,.0f}, {delta:+.1%}){marker}")
@@ -194,12 +264,44 @@ def main() -> int:
                           f"touched the simulation")
                 determinism_failures += 1
 
-    if warnings == 0 and determinism_failures == 0:
+    # Telemetry overhead gate: ON and OFF run on the same box in the
+    # same harness invocation, so the ratio is meaningful even where
+    # absolute events/s numbers are not.
+    for pair in args.telemetry_pair:
+        if ":" not in pair:
+            print(f"::error::--telemetry-pair '{pair}' is not ON:OFF")
+            perf_failures += 1
+            continue
+        on_name, off_name = pair.split(":", 1)
+        on_eps = current.get(on_name, {}).get("events_per_sec")
+        off_eps = current.get(off_name, {}).get("events_per_sec")
+        if on_eps is None or off_eps is None:
+            print(f"::error::telemetry pair '{pair}': scenario "
+                  f"missing events_per_sec in {args.current}")
+            perf_failures += 1
+            continue
+        overhead = (off_eps - on_eps) / off_eps
+        if overhead > args.telemetry_threshold:
+            print(f"::error::telemetry overhead in '{on_name}': "
+                  f"{on_eps:,.0f} events/s vs '{off_name}' "
+                  f"{off_eps:,.0f} ({overhead:+.1%} > "
+                  f"{args.telemetry_threshold:.0%} budget)")
+            perf_failures += 1
+        else:
+            print(f"telemetry overhead '{on_name}' vs '{off_name}': "
+                  f"{overhead:+.1%} (budget "
+                  f"{args.telemetry_threshold:.0%})")
+
+    if args.trend:
+        print_trend(args.trend, current)
+
+    if warnings == 0 and determinism_failures == 0 and \
+            perf_failures == 0:
         print(f"all scenarios within {args.threshold:.0%} of baseline, "
               f"sim metrics byte-identical")
-    # Perf deltas are warn-only (noisy CI boxes); determinism is a
-    # hard gate.
-    return 1 if determinism_failures else 0
+    # Perf regressions past the threshold and determinism drift are
+    # both hard gates; only missing-series notices stay warn-only.
+    return 1 if (determinism_failures or perf_failures) else 0
 
 
 if __name__ == "__main__":
